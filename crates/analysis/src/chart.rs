@@ -1,0 +1,140 @@
+//! ASCII charts for the experiment binaries ("figures").
+//!
+//! The paper's quantitative claims are best seen as curves (survival
+//! functions, growth curves); [`ascii_series`] renders one or two series on
+//! a shared log- or linear-scale grid so the harness output is
+//! self-contained and diffable.
+
+/// Scale of the y axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear y axis.
+    Linear,
+    /// Logarithmic y axis (non-positive values are clamped to the floor).
+    Log,
+}
+
+/// Renders up to two named series (sharing x = index) as an ASCII chart of
+/// the given height. Series 1 plots as `*`, series 2 as `o`, collisions as
+/// `#`.
+pub fn ascii_series(
+    names: (&str, Option<&str>),
+    series1: &[f64],
+    series2: Option<&[f64]>,
+    height: usize,
+    scale: Scale,
+) -> String {
+    let width = series1.len().max(series2.map_or(0, <[f64]>::len));
+    if width == 0 || height == 0 {
+        return String::new();
+    }
+    let tx = |v: f64| -> f64 {
+        match scale {
+            Scale::Linear => v,
+            Scale::Log => v.max(1e-300).log10(),
+        }
+    };
+    let all: Vec<f64> = series1
+        .iter()
+        .chain(series2.unwrap_or(&[]))
+        .copied()
+        .filter(|v| scale == Scale::Linear || *v > 0.0)
+        .map(tx)
+        .collect();
+    let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+    let row_of = |v: f64| -> Option<usize> {
+        if scale == Scale::Log && v <= 0.0 {
+            return None;
+        }
+        let t = (tx(v) - lo) / span;
+        Some(((1.0 - t) * (height - 1) as f64).round() as usize)
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (x, &v) in series1.iter().enumerate() {
+        if let Some(r) = row_of(v) {
+            grid[r][x] = '*';
+        }
+    }
+    if let Some(s2) = series2 {
+        for (x, &v) in s2.iter().enumerate() {
+            if let Some(r) = row_of(v) {
+                grid[r][x] = if grid[r][x] == '*' { '#' } else { 'o' };
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let label_hi = match scale {
+        Scale::Linear => format!("{:.3}", hi),
+        Scale::Log => format!("1e{:.1}", hi),
+    };
+    let label_lo = match scale {
+        Scale::Linear => format!("{:.3}", lo),
+        Scale::Log => format!("1e{:.1}", lo),
+    };
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{label_hi:>10} ")
+        } else if i == height - 1 {
+            format!("{label_lo:>10} ")
+        } else {
+            " ".repeat(11)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>11}+{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>12}x = 0..{}   *: {}{}\n",
+        "",
+        width - 1,
+        names.0,
+        names
+            .1
+            .map(|n| format!("   o: {n}   #: overlap"))
+            .unwrap_or_default()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let s = ascii_series(("measured", None), &[1.0, 0.5, 0.25], None, 5, Scale::Linear);
+        // 5 grid rows + axis + legend.
+        assert_eq!(s.lines().count(), 7);
+        assert!(s.contains('*'));
+        assert!(s.contains("measured"));
+    }
+
+    #[test]
+    fn two_series_show_distinct_marks() {
+        let a = [1.0, 0.9, 0.5, 0.1];
+        let b = [1.0, 0.5, 0.25, 0.125];
+        let s = ascii_series(("a", Some("b")), &a, Some(&b), 8, Scale::Log);
+        assert!(s.contains('o') || s.contains('#'), "{s}");
+        assert!(s.contains("overlap"));
+    }
+
+    #[test]
+    fn empty_series_render_nothing() {
+        assert_eq!(
+            ascii_series(("x", None), &[], None, 5, Scale::Linear),
+            ""
+        );
+    }
+
+    #[test]
+    fn log_scale_clamps_zeroes() {
+        let s = ascii_series(("z", None), &[1.0, 0.0, 0.01], None, 4, Scale::Log);
+        assert!(!s.is_empty());
+    }
+}

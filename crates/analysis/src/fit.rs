@@ -1,0 +1,99 @@
+//! Least-squares fits: linear, and power-law growth exponents.
+//!
+//! EXP-7 checks the paper's "expected run-time is polynomial in n" by
+//! fitting `log(steps) ≈ e·log(n) + c` and reporting the growth exponent
+//! `e`.
+
+/// Ordinary least squares for `y ≈ slope·x + intercept`.
+/// Returns `None` when there are fewer than two distinct x values.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return None;
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    Some((slope, intercept))
+}
+
+/// Fits `y ≈ c·x^e` on positive data by linear regression in log-log space;
+/// returns the exponent `e` and the prefactor `c`.
+///
+/// Non-positive points are skipped; `None` if fewer than two remain.
+pub fn power_law_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let (slope, intercept) = linear_fit(&logs)?;
+    Some((slope, intercept.exp()))
+}
+
+/// Coefficient of determination R² of a linear fit on `points`.
+pub fn r_squared(points: &[(f64, f64)], slope: f64, intercept: f64) -> f64 {
+    let n = points.len() as f64;
+    if points.is_empty() {
+        return 0.0;
+    }
+    let mean_y: f64 = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (f64::from(i), 3.0 * f64::from(i) - 2.0)).collect();
+        let (s, c) = linear_fit(&pts).unwrap();
+        assert!((s - 3.0).abs() < 1e-12);
+        assert!((c + 2.0).abs() < 1e-12);
+        assert!((r_squared(&pts, s, c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(linear_fit(&[]), None);
+        assert_eq!(linear_fit(&[(1.0, 2.0)]), None);
+        assert_eq!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]), None);
+    }
+
+    #[test]
+    fn power_law_exponent_is_recovered() {
+        let pts: Vec<(f64, f64)> = (1..20)
+            .map(|i| {
+                let x = f64::from(i);
+                (x, 5.0 * x.powf(2.5))
+            })
+            .collect();
+        let (e, c) = power_law_fit(&pts).unwrap();
+        assert!((e - 2.5).abs() < 1e-9);
+        assert!((c - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_law_skips_nonpositive_points() {
+        let pts = [(0.0, 1.0), (-1.0, 2.0), (1.0, 2.0), (2.0, 4.0), (4.0, 8.0)];
+        let (e, _) = power_law_fit(&pts).unwrap();
+        assert!((e - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,166 @@
+//! Integer histograms with ASCII rendering, for step-count distributions.
+
+use std::fmt;
+
+/// A histogram over non-negative integers.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, value: u64) {
+        let idx = value as usize;
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.n += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Count of one value.
+    pub fn at(&self, value: u64) -> u64 {
+        self.counts.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Largest value with nonzero count.
+    pub fn max(&self) -> u64 {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i as u64)
+    }
+
+    /// The p-quantile (0 ≤ p ≤ 1) of the sample, by counting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!(self.n > 0, "quantile of an empty histogram");
+        assert!((0.0..=1.0).contains(&p), "p outside [0,1]");
+        let target = (p * self.n as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return v as u64;
+            }
+        }
+        self.max()
+    }
+
+    /// Renders the histogram as ASCII bars, bucketing values into at most
+    /// `max_rows` equal-width buckets of width ≥ 1.
+    pub fn render(&self, max_rows: usize, width: usize) -> String {
+        if self.n == 0 || max_rows == 0 {
+            return String::new();
+        }
+        let hi = self.max() + 1;
+        let bucket_w = hi.div_ceil(max_rows as u64).max(1);
+        let mut buckets: Vec<u64> = Vec::new();
+        for (v, &c) in self.counts.iter().enumerate() {
+            let b = v as u64 / bucket_w;
+            if buckets.len() <= b as usize {
+                buckets.resize(b as usize + 1, 0);
+            }
+            buckets[b as usize] += c;
+        }
+        let peak = buckets.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (b, &c) in buckets.iter().enumerate() {
+            let lo = b as u64 * bucket_w;
+            let hi = lo + bucket_w - 1;
+            let bar = (c as f64 / peak as f64 * width as f64).round() as usize;
+            let label = if bucket_w == 1 {
+                format!("{lo:>6}")
+            } else {
+                format!("{:>6}", format!("{lo}-{hi}"))
+            };
+            out.push_str(&format!("{label} | {} {}\n", "#".repeat(bar), c));
+        }
+        out
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(16, 40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_max() {
+        let h: Histogram = [1u64, 1, 2, 5].into_iter().collect();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.at(1), 2);
+        assert_eq!(h.at(3), 0);
+        assert_eq!(h.max(), 5);
+    }
+
+    #[test]
+    fn quantiles_by_counting() {
+        let h: Histogram = (0u64..100).collect();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 49);
+        assert_eq!(h.quantile(1.0), 99);
+    }
+
+    #[test]
+    fn median_of_skewed_sample() {
+        let h: Histogram = [0u64, 0, 0, 10].into_iter().collect();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.9), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        Histogram::new().quantile(0.5);
+    }
+
+    #[test]
+    fn render_produces_one_row_per_bucket() {
+        let h: Histogram = [0u64, 1, 2, 3, 4, 5, 6, 7].into_iter().collect();
+        let s = h.render(4, 20);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn empty_histogram_renders_nothing() {
+        assert_eq!(Histogram::new().render(8, 20), "");
+    }
+}

@@ -1,0 +1,40 @@
+//! # cil-analysis — statistics toolkit for the CIL reproduction
+//!
+//! The experiment harness (`cil-bench`) regenerates every quantitative claim
+//! of the paper; this crate supplies the statistics it needs:
+//!
+//! * [`summary`] — streaming mean/variance/CI ([`OnlineStats`]) and Wilson
+//!   proportion intervals;
+//! * [`tail`] — empirical survival functions, point-wise bound checking and
+//!   geometric-rate fits (Theorems 7 and 9 are tail bounds);
+//! * [`fit`] — least-squares and power-law fits (the paper's "polynomial
+//!   in n" claim);
+//! * [`table`] / [`chart`] — markdown tables and ASCII figures, so harness
+//!   output can be pasted verbatim into `EXPERIMENTS.md`.
+//!
+//! ```
+//! use cil_analysis::{OnlineStats, TailEstimator};
+//!
+//! let steps: OnlineStats = [4.0, 6.0, 8.0].into_iter().collect();
+//! assert_eq!(steps.mean(), 6.0);
+//!
+//! let tail: TailEstimator = [0u64, 1, 1, 3].into_iter().collect();
+//! assert_eq!(tail.survival(1), 0.75);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod fit;
+pub mod hist;
+pub mod summary;
+pub mod table;
+pub mod tail;
+
+pub use chart::{ascii_series, Scale};
+pub use fit::{linear_fit, power_law_fit, r_squared};
+pub use hist::Histogram;
+pub use summary::{wilson95, OnlineStats};
+pub use table::{fnum, Table};
+pub use tail::TailEstimator;

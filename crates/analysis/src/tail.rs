@@ -1,0 +1,174 @@
+//! Empirical tail (survival) functions and geometric-rate fits.
+//!
+//! The paper's quantitative theorems are tail bounds: Theorem 7's
+//! `P[undecided after k+2 steps] ≤ (3/4)^{k/2}` and Theorem 9's
+//! `P[num = k] ≤ (3/4)^k`. [`TailEstimator`] builds the empirical survival
+//! function of integer samples, compares it point-wise against such bounds,
+//! and fits the geometric decay rate by least squares on the log scale.
+
+use crate::fit::linear_fit;
+
+/// Empirical distribution of a non-negative integer quantity.
+#[derive(Debug, Clone, Default)]
+pub struct TailEstimator {
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl TailEstimator {
+    /// An empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, value: u64) {
+        let idx = value as usize;
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.n += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Largest observed value.
+    pub fn max(&self) -> u64 {
+        self.counts.len().saturating_sub(1) as u64
+    }
+
+    /// Empirical `P[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.counts.get(k as usize).copied().unwrap_or(0) as f64 / self.n as f64
+    }
+
+    /// Empirical survival `P[X ≥ k]`.
+    pub fn survival(&self, k: u64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let tail: u64 = self
+            .counts
+            .iter()
+            .skip(k as usize)
+            .sum();
+        tail as f64 / self.n as f64
+    }
+
+    /// The survival curve `P[X ≥ k]` for `k = 0..=max`.
+    pub fn survival_curve(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.counts.len() + 1);
+        let mut tail: u64 = self.counts.iter().sum();
+        out.push(if self.n == 0 { 0.0 } else { tail as f64 / self.n as f64 });
+        for &c in &self.counts {
+            tail -= c;
+            out.push(if self.n == 0 { 0.0 } else { tail as f64 / self.n as f64 });
+        }
+        out
+    }
+
+    /// Checks the empirical survival against a bound `k ↦ bound(k)`,
+    /// allowing `slack` multiplicative headroom for sampling noise.
+    /// Returns the first violating `k`, if any.
+    pub fn violates_bound(&self, bound: impl Fn(u64) -> f64, slack: f64) -> Option<u64> {
+        (0..=self.max()).find(|&k| self.survival(k) > bound(k) * slack)
+    }
+
+    /// Least-squares fit of `log P[X ≥ k] ≈ log c + k·log r` over the ks
+    /// with at least `min_mass` empirical mass; returns the geometric decay
+    /// rate `r` (e.g. ≈ 3/4 for Theorem 9). `None` if fewer than two usable
+    /// points.
+    pub fn geometric_rate(&self, min_mass: f64) -> Option<f64> {
+        let pts: Vec<(f64, f64)> = (0..=self.max())
+            .filter_map(|k| {
+                let s = self.survival(k);
+                (s >= min_mass).then(|| (k as f64, s.ln()))
+            })
+            .collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        let (slope, _) = linear_fit(&pts)?;
+        Some(slope.exp())
+    }
+}
+
+impl Extend<u64> for TailEstimator {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<u64> for TailEstimator {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut t = TailEstimator::new();
+        t.extend(iter);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_of_point_mass() {
+        let t: TailEstimator = [3u64, 3, 3].into_iter().collect();
+        assert_eq!(t.survival(0), 1.0);
+        assert_eq!(t.survival(3), 1.0);
+        assert_eq!(t.survival(4), 0.0);
+        assert_eq!(t.pmf(3), 1.0);
+    }
+
+    #[test]
+    fn survival_curve_matches_pointwise_queries() {
+        let t: TailEstimator = [0u64, 1, 1, 2, 5].into_iter().collect();
+        let curve = t.survival_curve();
+        for (k, &s) in curve.iter().enumerate() {
+            assert!((s - t.survival(k as u64)).abs() < 1e-12, "k = {k}");
+        }
+        assert_eq!(curve.len(), 7);
+    }
+
+    #[test]
+    fn geometric_samples_recover_their_rate() {
+        // Deterministic geometric-ish sample: value k appears ~ r^k times.
+        let mut t = TailEstimator::new();
+        let r: f64 = 0.75;
+        for k in 0u64..60 {
+            let copies = (1e7 * r.powi(k as i32) * (1.0 - r)) as u64;
+            for _ in 0..copies {
+                t.push(k);
+            }
+        }
+        let rate = t.geometric_rate(1e-3).expect("fit");
+        assert!((rate - 0.75).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn bound_violations_are_located() {
+        let t: TailEstimator = [5u64; 100].into_iter().collect();
+        // P[X ≥ 5] = 1 violates (3/4)^k at k = 5.
+        let v = t.violates_bound(|k| 0.75f64.powi(k as i32), 1.0);
+        assert_eq!(v, Some(1));
+        // A generous bound is satisfied.
+        assert_eq!(t.violates_bound(|_| 1.0, 1.0), None);
+    }
+
+    #[test]
+    fn empty_estimator_is_harmless() {
+        let t = TailEstimator::new();
+        assert_eq!(t.survival(0), 0.0);
+        assert_eq!(t.geometric_rate(0.1), None);
+        assert_eq!(t.violates_bound(|_| 0.0, 1.0), None);
+    }
+}

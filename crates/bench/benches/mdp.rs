@@ -1,0 +1,38 @@
+//! Criterion benches for the model-checking machinery: exhaustive space
+//! enumeration, MDP solving, and valence analysis.
+
+use cil_core::deterministic::{DetRule, DetTwo};
+use cil_core::two::TwoProcessor;
+use cil_mc::explore::Explorer;
+use cil_mc::mdp::{MdpSolver, Objective};
+use cil_mc::valence::ValenceMap;
+use cil_sim::Val;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_mc(c: &mut Criterion) {
+    let p = TwoProcessor::new();
+    c.bench_function("mc/explore_full_two_proc", |b| {
+        b.iter(|| {
+            let r = Explorer::new(&p, &[Val::A, Val::B]).run();
+            black_box(r.explored)
+        })
+    });
+    c.bench_function("mc/mdp_build_and_solve", |b| {
+        b.iter(|| {
+            let m = MdpSolver::build(&p, &[Val::A, Val::B], 100_000);
+            let s = m.expected_steps(&p, Objective::StepsOf(0), 1e-10, 100_000);
+            black_box(s.value)
+        })
+    });
+    let victim = DetTwo::new(DetRule::AlwaysAdopt);
+    c.bench_function("mc/valence_map_victim", |b| {
+        b.iter(|| {
+            let m = ValenceMap::build(&victim, &[Val::A, Val::B], 1_000_000);
+            black_box(m.explored())
+        })
+    });
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benches: n-processor scaling (EXP-7's latency counterpart) and
+//! the Theorem 5 k-valued composite.
+
+use cil_core::kvalued::KValued;
+use cil_core::n_unbounded::NUnbounded;
+use cil_core::two::TwoProcessor;
+use cil_sim::{RandomScheduler, Runner, Val};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("n_proc/full_consensus");
+    for n in [2usize, 4, 8, 16] {
+        let p = NUnbounded::new(n);
+        let inputs: Vec<Val> = (0..n).map(|i| Val((i % 2) as u64)).collect();
+        let mut seed = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                seed += 1;
+                let out = Runner::new(&p, &inputs, RandomScheduler::new(seed))
+                    .seed(seed)
+                    .max_steps(10_000_000)
+                    .run();
+                black_box(out.total_steps)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_kvalued(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvalued/full_consensus");
+    for k in [2u64, 8, 64] {
+        let p = KValued::new(TwoProcessor::new(), k);
+        let mut seed = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                seed += 1;
+                let inputs = [Val(seed % k), Val((seed + 1) % k)];
+                let out = Runner::new(&p, &inputs, RandomScheduler::new(seed))
+                    .seed(seed)
+                    .run();
+                black_box(out.total_steps)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("variants/full_consensus");
+    let inputs = [Val::A, Val::B, Val::A];
+    let mut seed = 0u64;
+    let w1r = cil_core::n_unbounded_1w1r::NUnbounded1W1R::three();
+    g.bench_function("fig2_1w1r", |b| {
+        b.iter(|| {
+            seed += 1;
+            let out = Runner::new(&w1r, &inputs, RandomScheduler::new(seed))
+                .seed(seed)
+                .run();
+            black_box(out.total_steps)
+        })
+    });
+    let bounded_k = KValued::new(cil_core::three_bounded::ThreeBounded::new(), 8);
+    g.bench_function("kvalued8_over_fig3", |b| {
+        b.iter(|| {
+            seed += 1;
+            let inputs = [Val(seed % 8), Val((seed + 3) % 8), Val((seed + 5) % 8)];
+            let out = Runner::new(&bounded_k, &inputs, RandomScheduler::new(seed))
+                .seed(seed)
+                .max_steps(10_000_000)
+                .run();
+            black_box(out.total_steps)
+        })
+    });
+    g.finish();
+}
+
+fn bench_lookahead(c: &mut Criterion) {
+    let p = NUnbounded::three();
+    let inputs = [Val::A, Val::B, Val::A];
+    let mut seed = 0u64;
+    c.bench_function("adversary/lookahead3_full_consensus", |b| {
+        b.iter(|| {
+            seed += 1;
+            let out = Runner::new(
+                &p,
+                &inputs,
+                cil_mc::LookaheadAdversary::new(3),
+            )
+            .seed(seed)
+            .max_steps(1_000_000)
+            .run();
+            black_box(out.total_steps)
+        })
+    });
+}
+
+criterion_group!(benches, bench_scaling, bench_kvalued, bench_variants, bench_lookahead);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the register substrate: serialized shared memory,
+//! hardware cells, and the classical constructions.
+
+use cil_registers::construct::multivalued::{unary_store, ClearOrder, UnaryReader, UnaryWriter};
+use cil_registers::construct::StepMachine;
+use cil_registers::taxonomy::FixedResolver;
+use cil_registers::{HwCell, HwRegisterFile, Pid, ReaderSet, RegId, RegisterSpec, SharedMemory};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_shared_memory(c: &mut Criterion) {
+    let specs = vec![
+        RegisterSpec::new(RegId(0), "r0", Pid(0), ReaderSet::All, 0u64),
+        RegisterSpec::new(RegId(1), "r1", Pid(1), ReaderSet::All, 0u64),
+    ];
+    let mut mem = SharedMemory::new(specs).unwrap();
+    c.bench_function("registers/shared_memory_write_read", |b| {
+        b.iter(|| {
+            mem.write(Pid(0), RegId(0), black_box(7)).unwrap();
+            black_box(*mem.read(Pid(1), RegId(0)).unwrap())
+        })
+    });
+}
+
+fn bench_hw(c: &mut Criterion) {
+    let cell = HwCell::new(0);
+    c.bench_function("registers/hw_cell_store_load", |b| {
+        b.iter(|| {
+            cell.store(black_box(9));
+            black_box(cell.load())
+        })
+    });
+    let file = HwRegisterFile::new(vec![RegisterSpec::new(
+        RegId(0),
+        "r",
+        Pid(0),
+        ReaderSet::All,
+        0u64,
+    )])
+    .unwrap();
+    c.bench_function("registers/hw_file_write_read", |b| {
+        b.iter(|| {
+            file.write(Pid(0), RegId(0), black_box(&3)).unwrap();
+            black_box(file.read(Pid(1), RegId(0)).unwrap())
+        })
+    });
+}
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("registers/multivalued_write_read_cycle", |b| {
+        b.iter(|| {
+            let mut store = unary_store(8, 0);
+            let mut res = FixedResolver(0);
+            let mut w = UnaryWriter::new(8, [5], ClearOrder::Descending);
+            while !w.is_done() {
+                store.clock += 1;
+                w.step(&mut store, &mut res);
+            }
+            let mut r = UnaryReader::new(8, 1);
+            while !r.is_done() {
+                store.clock += 1;
+                r.step(&mut store, &mut res);
+            }
+            black_box(r.history()[0].value)
+        })
+    });
+}
+
+criterion_group!(benches, bench_shared_memory, bench_hw, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches for the three-processor protocols: §5 (unbounded) vs
+//! §6 (bounded) full-consensus latency, and the failing naive baseline under
+//! a benign scheduler.
+
+use cil_core::n_unbounded::NUnbounded;
+use cil_core::naive::Naive;
+use cil_core::three_bounded::ThreeBounded;
+use cil_sim::{RandomScheduler, Runner, Val};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_three(c: &mut Criterion) {
+    let mut g = c.benchmark_group("three_proc/full_consensus");
+    let inputs = [Val::A, Val::B, Val::A];
+    let mut seed = 0u64;
+    let unbounded = NUnbounded::three();
+    g.bench_function("fig2_unbounded", |b| {
+        b.iter(|| {
+            seed += 1;
+            let out = Runner::new(&unbounded, &inputs, RandomScheduler::new(seed))
+                .seed(seed)
+                .run();
+            black_box(out.total_steps)
+        })
+    });
+    let bounded = ThreeBounded::new();
+    g.bench_function("fig3_bounded", |b| {
+        b.iter(|| {
+            seed += 1;
+            let out = Runner::new(&bounded, &inputs, RandomScheduler::new(seed))
+                .seed(seed)
+                .max_steps(10_000_000)
+                .run();
+            black_box(out.total_steps)
+        })
+    });
+    let naive = Naive::new(3);
+    g.bench_function("naive_baseline", |b| {
+        b.iter(|| {
+            seed += 1;
+            let out = Runner::new(&naive, &inputs, RandomScheduler::new(seed))
+                .seed(seed)
+                .max_steps(100_000)
+                .run();
+            black_box(out.total_steps)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_three);
+criterion_main!(benches);

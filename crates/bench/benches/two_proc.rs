@@ -1,0 +1,52 @@
+//! Criterion benches for the two-processor protocol (§4): time per full
+//! consensus under each scheduler, and per protocol step.
+
+use cil_core::two::TwoProcessor;
+use cil_sim::{Protocol, RandomScheduler, RoundRobin, Runner, SplitKeeper, Val};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_full_consensus(c: &mut Criterion) {
+    let p = TwoProcessor::new();
+    let mut g = c.benchmark_group("two_proc/full_consensus");
+    let mut seed = 0u64;
+    g.bench_function("round_robin", |b| {
+        b.iter(|| {
+            seed += 1;
+            let out = Runner::new(&p, &[Val::A, Val::B], RoundRobin::new())
+                .seed(seed)
+                .run();
+            black_box(out.total_steps)
+        })
+    });
+    g.bench_function("random", |b| {
+        b.iter(|| {
+            seed += 1;
+            let out = Runner::new(&p, &[Val::A, Val::B], RandomScheduler::new(seed))
+                .seed(seed)
+                .run();
+            black_box(out.total_steps)
+        })
+    });
+    g.bench_function("split_keeper", |b| {
+        b.iter(|| {
+            seed += 1;
+            let out = Runner::new(&p, &[Val::A, Val::B], SplitKeeper::new())
+                .seed(seed)
+                .run();
+            black_box(out.total_steps)
+        })
+    });
+    g.finish();
+}
+
+fn bench_transition_functions(c: &mut Criterion) {
+    let p = TwoProcessor::new();
+    let s = p.init(0, Val::A);
+    c.bench_function("two_proc/choose", |b| {
+        b.iter(|| black_box(p.choose(0, black_box(&s))))
+    });
+}
+
+criterion_group!(benches, bench_full_consensus, bench_transition_functions);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Experiment binary: see `cil_bench::exps::ablation`.
+fn main() {
+    print!("{}", cil_bench::exps::ablation::run());
+}

@@ -1,0 +1,5 @@
+//! Runs every experiment and prints the combined report (the measured
+//! content of `EXPERIMENTS.md`).
+fn main() {
+    print!("{}", cil_bench::exps::run_all());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: see `cil_bench::exps::kvalued`.
+fn main() {
+    print!("{}", cil_bench::exps::kvalued::run());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: see `cil_bench::exps::registers`.
+fn main() {
+    print!("{}", cil_bench::exps::registers::run());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: see `cil_bench::exps::scaling`.
+fn main() {
+    print!("{}", cil_bench::exps::scaling::run());
+}

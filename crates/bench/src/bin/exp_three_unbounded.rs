@@ -1,0 +1,4 @@
+//! Experiment binary: see `cil_bench::exps::three_unbounded`.
+fn main() {
+    print!("{}", cil_bench::exps::three_unbounded::run());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: see `cil_bench::exps::two_proc`.
+fn main() {
+    print!("{}", cil_bench::exps::two_proc::run());
+}

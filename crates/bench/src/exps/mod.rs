@@ -1,0 +1,30 @@
+//! The experiments, one module per paper claim. Each `run()` returns a
+//! markdown report fragment; see the crate docs for the index.
+
+pub mod ablation;
+pub mod crash;
+pub mod impossibility;
+pub mod kvalued;
+pub mod naive;
+pub mod registers;
+pub mod scaling;
+pub mod three_bounded;
+pub mod three_unbounded;
+pub mod two_proc;
+
+/// Runs every experiment and concatenates the reports (the `exp_all`
+/// binary; this regenerates the measured content of `EXPERIMENTS.md`).
+pub fn run_all() -> String {
+    let mut out = String::new();
+    out.push_str(&impossibility::run());
+    out.push_str(&two_proc::run());
+    out.push_str(&kvalued::run());
+    out.push_str(&three_unbounded::run());
+    out.push_str(&naive::run());
+    out.push_str(&three_bounded::run());
+    out.push_str(&scaling::run());
+    out.push_str(&crash::run());
+    out.push_str(&registers::run());
+    out.push_str(&ablation::run());
+    out
+}

@@ -1,0 +1,121 @@
+//! EXP-5 — §5 introduction: the "natural" protocol fails.
+//!
+//! Runs the naive re-randomize-until-unanimous protocol against the paper's
+//! explicit adversary strategy (freeze a split, then run the victim
+//! forever) and contrasts it with Figure 2's protocol under the same
+//! schedule *shape*. The naive protocol's survival probability stays at 1
+//! forever; Figure 2's collapses geometrically.
+
+use cil_analysis::{ascii_series, fnum, Scale, Table};
+use cil_core::n_unbounded::NUnbounded;
+use cil_core::naive::{Naive, NaiveKiller};
+use cil_sim::{Adversary, Halt, Runner, StopWhen, Val, View};
+
+/// The killer's schedule *shape*, portable to any 3-processor protocol:
+/// one step each for P0 and P1, then P2 forever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FreezeTwoShape;
+
+impl<P: cil_sim::Protocol> Adversary<P> for FreezeTwoShape {
+    fn pick(&mut self, view: &View<'_, P>) -> usize {
+        let e = view.eligible();
+        if view.steps[0] < 1 && e.contains(&0) {
+            0
+        } else if view.steps[1] < 1 && e.contains(&1) {
+            1
+        } else if e.contains(&2) {
+            2
+        } else {
+            e[0]
+        }
+    }
+    fn name(&self) -> String {
+        "freeze-two".into()
+    }
+}
+
+/// Runs the experiment and returns its markdown report.
+pub fn run() -> String {
+    let mut out = String::from("## EXP-5 — §5 intro: the naive protocol fails\n");
+    out.push_str(
+        "\nNaive protocol: choose a random value, terminate when all registers \
+         agree. Paper's adversary: fix P0 = a, P1 = b, then activate P2 forever. \
+         Below, P2's survival probability (still undecided) after it has taken s \
+         steps, estimated over seeds — compared with Fig. 2's protocol under the \
+         same freeze-two schedule shape.\n\n",
+    );
+    let runs = crate::sample(2_000);
+    let budgets: Vec<u64> = vec![10, 30, 100, 300, 1_000, 3_000, 10_000];
+    let mut naive_surv = Vec::new();
+    let mut fig2_surv = Vec::new();
+    let naive = Naive::new(3);
+    let fig2 = NUnbounded::three();
+    for &b in &budgets {
+        let mut alive_naive = 0u64;
+        let mut alive_fig2 = 0u64;
+        for seed in 0..runs {
+            let o = Runner::new(&naive, &[Val::A, Val::B, Val::A], NaiveKiller::new())
+                .seed(seed)
+                .stop_when(StopWhen::PidDecided(2))
+                .max_steps(b + 2) // the two setup steps
+                .run();
+            if o.halt == Halt::MaxSteps {
+                alive_naive += 1;
+            }
+            let o = Runner::new(&fig2, &[Val::A, Val::B, Val::A], FreezeTwoShape)
+                .seed(seed)
+                .stop_when(StopWhen::PidDecided(2))
+                .max_steps(b + 2)
+                .run();
+            if o.halt == Halt::MaxSteps {
+                alive_fig2 += 1;
+            }
+        }
+        naive_surv.push(alive_naive as f64 / runs as f64);
+        fig2_surv.push(alive_fig2 as f64 / runs as f64);
+    }
+    let mut t = Table::new([
+        "step budget",
+        "naive: P[P2 undecided]",
+        "Fig. 2: P[P2 undecided]",
+    ]);
+    for (i, &b) in budgets.iter().enumerate() {
+        t.row([b.to_string(), fnum(naive_surv[i]), fnum(fig2_surv[i])]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nFigure EXP-5 (linear scale): `*` naive protocol, `o` Fig. 2, by budget \
+         index.\n\n```\n",
+    );
+    out.push_str(&ascii_series(
+        ("naive", Some("Fig. 2")),
+        &naive_surv,
+        Some(&fig2_surv),
+        10,
+        Scale::Linear,
+    ));
+    out.push_str("```\n");
+    out.push_str(
+        "\nReading: the naive protocol never terminates under the §5 adversary \
+         (survival pinned at 1.0), while Fig. 2 under the same schedule shape \
+         decides almost immediately — randomization alone is not enough; the \
+         num-field ordering is what defeats the adversary.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn naive_is_pinned_while_fig2_collapses() {
+        let r = super::run();
+        // Naive survival at the largest budget is 1.
+        let last_row = r
+            .lines()
+            .rfind(|l| l.starts_with("| 10000"))
+            .expect("last budget row");
+        let cells: Vec<&str> = last_row.split('|').map(str::trim).collect();
+        assert_eq!(cells[2], "1.000", "naive must survive: {last_row}");
+        assert_eq!(cells[3], "0", "fig2 must decide: {last_row}");
+    }
+}

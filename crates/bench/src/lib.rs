@@ -1,0 +1,94 @@
+//! # cil-bench — the experiment harness
+//!
+//! One module per quantitative claim of the paper (see `DESIGN.md` §4 for
+//! the experiment index). Every experiment is a pure function returning its
+//! markdown report; the `exp_*` binaries are thin wrappers, and `exp_all`
+//! concatenates everything (that output is the source of `EXPERIMENTS.md`).
+//!
+//! | binary | experiment | paper item |
+//! |---|---|---|
+//! | `exp_impossibility` | EXP-1 | §3 Theorem 4 |
+//! | `exp_two_proc` | EXP-2 | §4 Theorems 6, 7 + Corollary |
+//! | `exp_kvalued` | EXP-3 | §4 Theorem 5 |
+//! | `exp_three_unbounded` | EXP-4 | §5 Theorems 8, 9 + Corollary |
+//! | `exp_naive` | EXP-5 | §5 intro |
+//! | `exp_three_bounded` | EXP-6 | §6 |
+//! | `exp_scaling` | EXP-7 | abstract: polynomial in n |
+//! | `exp_crash` | EXP-8 | §1: t = n − 1 fail-stop |
+//! | `exp_registers` | EXP-9 | §1/Lamport substrate |
+//!
+//! Run them with `cargo run -p cil-bench --release --bin exp_<name>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exps;
+pub mod sweep;
+
+pub use sweep::{sweep, SweepResult};
+
+use cil_sim::{Adversary, BoxedAdversary, LaggardFirst, Protocol, RandomScheduler, RoundRobin, SplitKeeper};
+
+/// The standard adversary suite used across experiments. Each entry is a
+/// factory so every run gets a fresh scheduler.
+#[allow(clippy::type_complexity)]
+pub fn adversary_suite<P: Protocol>() -> Vec<(&'static str, Box<dyn Fn(u64) -> BoxedAdversary<P>>)>
+{
+    vec![
+        (
+            "round-robin",
+            Box::new(|_seed| Box::new(RoundRobin::new()) as BoxedAdversary<P>),
+        ),
+        (
+            "random",
+            Box::new(|seed| Box::new(RandomScheduler::new(seed)) as BoxedAdversary<P>),
+        ),
+        (
+            "split-keeper",
+            Box::new(|_seed| Box::new(SplitKeeper::new()) as BoxedAdversary<P>),
+        ),
+        (
+            "laggard-first",
+            Box::new(|_seed| Box::new(LaggardFirst::new()) as BoxedAdversary<P>),
+        ),
+    ]
+}
+
+/// A named adversary instance for single runs.
+pub fn fresh<P: Protocol, A: Adversary<P> + 'static>(a: A) -> BoxedAdversary<P> {
+    Box::new(a)
+}
+
+/// Prints a section header in the experiment reports.
+pub fn section(title: &str) -> String {
+    format!("\n### {title}\n\n")
+}
+
+/// Run-count selector: full sample sizes in release builds (the experiment
+/// binaries), reduced ones under `cargo test` debug builds so the in-module
+/// smoke tests stay fast.
+pub fn sample(release: u64) -> u64 {
+    if cfg!(debug_assertions) {
+        (release / 50).max(50)
+    } else {
+        release
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cil_core::two::TwoProcessor;
+    use cil_sim::{Runner, Val};
+
+    #[test]
+    fn suite_provides_four_adversaries() {
+        let suite = adversary_suite::<TwoProcessor>();
+        assert_eq!(suite.len(), 4);
+        let p = TwoProcessor::new();
+        for (name, mk) in suite {
+            let out = Runner::new(&p, &[Val::A, Val::B], mk(1)).seed(1).run();
+            assert!(out.consistent(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Reusable Monte-Carlo sweep driver: run a configured experiment many
+//! times, accumulate a metric's statistics/tail, and count safety
+//! violations — the dataflow every experiment module shares.
+
+use cil_analysis::{OnlineStats, TailEstimator};
+use cil_sim::{Halt, Protocol, RunOutcome};
+
+/// Accumulated result of a sweep.
+#[derive(Debug, Default)]
+pub struct SweepResult {
+    /// Statistics of the chosen metric.
+    pub stats: OnlineStats,
+    /// Tail/distribution of the chosen metric.
+    pub tail: TailEstimator,
+    /// Runs violating consistency or nontriviality.
+    pub violations: u64,
+    /// Runs that hit their step budget before the stop condition.
+    pub undecided: u64,
+}
+
+impl SweepResult {
+    /// 95% CI of the metric mean, formatted.
+    pub fn ci_string(&self) -> String {
+        let (lo, hi) = self.stats.ci95();
+        format!("[{}, {}]", cil_analysis::fnum(lo), cil_analysis::fnum(hi))
+    }
+}
+
+/// Runs `make_run` for seeds `0..runs`, measuring `metric` on each outcome.
+pub fn sweep<P, F, M>(runs: u64, mut make_run: F, metric: M) -> SweepResult
+where
+    P: Protocol,
+    F: FnMut(u64) -> RunOutcome<P>,
+    M: Fn(&RunOutcome<P>) -> u64,
+{
+    let mut r = SweepResult::default();
+    for seed in 0..runs {
+        let out = make_run(seed);
+        if !out.consistent() || !out.nontrivial() {
+            r.violations += 1;
+        }
+        if out.halt == Halt::MaxSteps {
+            r.undecided += 1;
+        }
+        let m = metric(&out);
+        r.stats.push(m as f64);
+        r.tail.push(m);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cil_core::two::TwoProcessor;
+    use cil_sim::{RandomScheduler, Runner, Val};
+
+    #[test]
+    fn sweep_accumulates_metric_and_safety() {
+        let p = TwoProcessor::new();
+        let r = sweep(
+            200,
+            |seed| {
+                Runner::new(&p, &[Val::A, Val::B], RandomScheduler::new(seed))
+                    .seed(seed)
+                    .run()
+            },
+            |o| o.total_steps,
+        );
+        assert_eq!(r.stats.count(), 200);
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.undecided, 0);
+        assert!(r.stats.mean() > 3.0);
+        assert_eq!(r.tail.count(), 200);
+        assert!(r.ci_string().starts_with('['));
+    }
+
+    #[test]
+    fn sweep_counts_budget_exhaustion() {
+        use cil_core::naive::{Naive, NaiveKiller};
+        let p = Naive::new(3);
+        let r = sweep(
+            20,
+            |seed| {
+                Runner::new(&p, &[Val::A, Val::B, Val::A], NaiveKiller::new())
+                    .seed(seed)
+                    .max_steps(200)
+                    .run()
+            },
+            |o| o.total_steps,
+        );
+        assert_eq!(r.undecided, 20, "the killer blocks every run");
+        assert_eq!(r.violations, 0, "blocked is not unsafe");
+    }
+}

@@ -1,0 +1,171 @@
+//! # cil-cli — command-line interface to the CIL reproduction
+//!
+//! One binary, `cil`, exposing the protocols, the simulator, and the model
+//! checker:
+//!
+//! ```text
+//! cil run       --protocol fig2 --inputs a,b,a --adversary random --seed 7 [--trace]
+//! cil check     --protocol fig3 --inputs a,b,a --depth 11
+//! cil mdp       --inputs a,b [--kmax 20]
+//! cil theorem4  --rule always-adopt --steps 100000
+//! cil elect     --n 3 --rounds 10
+//! cil threads   --protocol two --inputs a,b --seed 1
+//! cil help
+//! ```
+//!
+//! Protocols: `two` (Fig. 1), `fig2` (§5, corrected rule), `fig2-literal`,
+//! `fig2-1w1r`, `fig3` (§6 bounded), `naive`, `n:<count>`, `kvalued:<k>`.
+//! Adversaries: `round-robin`, `random`, `split-keeper`, `laggard`,
+//! `leader`, `alternator`, `lookahead:<h>`, or an explicit schedule like
+//! `"(2,3,3,2,1)"` (one-based, as in the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_inputs, Args};
+
+/// Entry point used by the binary: dispatches a full command line (without
+/// the program name) and returns the text to print.
+///
+/// # Errors
+///
+/// Returns a usage message for unknown commands or malformed options.
+pub fn dispatch<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, String> {
+    let args = Args::parse(tokens, &["trace", "literal"])?;
+    match args.command.as_str() {
+        "run" => commands::run(&args),
+        "check" => commands::check(&args),
+        "mdp" => commands::mdp(&args),
+        "theorem4" => commands::theorem4(&args),
+        "elect" => commands::elect(&args),
+        "threads" => commands::threads(&args),
+        "" | "help" | "--help" | "-h" => Ok(commands::help()),
+        other => Err(format!(
+            "unknown command '{other}'\n\n{}",
+            commands::help()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let h = dispatch(toks("help")).unwrap();
+        for c in ["run", "check", "mdp", "theorem4", "elect", "threads"] {
+            assert!(h.contains(c), "help missing {c}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_reports_usage() {
+        let e = dispatch(toks("frobnicate")).unwrap_err();
+        assert!(e.contains("unknown command"));
+        assert!(e.contains("run"));
+    }
+
+    #[test]
+    fn run_two_processor_end_to_end() {
+        let out = dispatch(toks("run --protocol two --inputs a,b --seed 3")).unwrap();
+        assert!(out.contains("decisions"), "{out}");
+        assert!(out.contains("consistent: true"), "{out}");
+    }
+
+    #[test]
+    fn run_with_trace_prints_steps() {
+        let out =
+            dispatch(toks("run --protocol two --inputs a,b --seed 1 --trace")).unwrap();
+        assert!(out.contains("write"), "{out}");
+        assert!(out.contains("read"), "{out}");
+    }
+
+    #[test]
+    fn run_with_paper_schedule() {
+        let out = dispatch(
+            ["run", "--protocol", "fig2", "--inputs", "a,b,a", "--adversary", "(1,2,3,1,2,3)", "--seed", "2"]
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(out.contains("decisions"), "{out}");
+    }
+
+    #[test]
+    fn run_every_protocol_spec() {
+        for p in ["two", "fig2", "fig2-literal", "fig2-1w1r", "fig3", "n:4", "kvalued:8"] {
+            let inputs = match p {
+                "two" | "kvalued:8" => "0,1",
+                "n:4" => "a,b,a,b",
+                _ => "a,b,a",
+            };
+            let out = dispatch(
+                ["run", "--protocol", p, "--inputs", inputs, "--seed", "5"].map(String::from),
+            )
+            .unwrap_or_else(|e| panic!("{p}: {e}"));
+            assert!(out.contains("decisions"), "{p}: {out}");
+        }
+        // naive may not terminate; give it a budget and accept both outcomes.
+        let out = dispatch(
+            ["run", "--protocol", "naive", "--inputs", "a,b,a", "--max-steps", "5000"]
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(out.contains("decisions"), "{out}");
+    }
+
+    #[test]
+    fn check_reports_exploration() {
+        let out = dispatch(toks("check --protocol two --inputs a,b")).unwrap();
+        assert!(out.contains("configurations"), "{out}");
+        assert!(out.contains("violations: 0"), "{out}");
+    }
+
+    #[test]
+    fn mdp_reports_the_tight_bound() {
+        let out = dispatch(toks("mdp --inputs a,b")).unwrap();
+        assert!(out.contains("10.00"), "{out}");
+        assert!(out.contains("survival"), "{out}");
+    }
+
+    #[test]
+    fn theorem4_constructs_the_schedule() {
+        let out = dispatch(toks("theorem4 --rule always-adopt --steps 5000")).unwrap();
+        assert!(out.contains("5000"), "{out}");
+        assert!(out.contains("no decision"), "{out}");
+    }
+
+    #[test]
+    fn elect_runs_rounds() {
+        let out = dispatch(toks("elect --n 3 --rounds 5")).unwrap();
+        let round_lines = out.lines().filter(|l| l.starts_with("round")).count();
+        assert_eq!(round_lines, 5, "{out}");
+        assert!(out.contains("mutual exclusion"), "{out}");
+    }
+
+    #[test]
+    fn threads_agree() {
+        let out = dispatch(toks("threads --protocol two --inputs a,b --seed 2")).unwrap();
+        assert!(out.contains("agreed"), "{out}");
+    }
+
+    #[test]
+    fn bad_adversary_is_reported() {
+        let e = dispatch(toks("run --protocol two --inputs a,b --adversary bogus"))
+            .unwrap_err();
+        assert!(e.contains("adversary"), "{e}");
+    }
+
+    #[test]
+    fn input_arity_mismatch_is_reported() {
+        let e = dispatch(toks("run --protocol two --inputs a,b,a")).unwrap_err();
+        assert!(e.contains("inputs"), "{e}");
+    }
+}

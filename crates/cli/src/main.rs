@@ -1,0 +1,12 @@
+//! The `cil` binary: see [`cil_cli::dispatch`] and `cil help`.
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match cil_cli::dispatch(tokens) {
+        Ok(text) => print!("{text}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

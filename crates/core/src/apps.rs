@@ -1,0 +1,267 @@
+//! Small applications of coordination, mirroring the paper's motivation.
+//!
+//! §1 of the paper: "the mutual exclusion problem can be formulated in our
+//! context as choosing the identity of a processor who is to enter the
+//! critical region. In this case, the input value of every processor in the
+//! trial region is simply its own identity." [`elect_leader`] is exactly
+//! that formulation, and [`MutexLog`] validates the mutual-exclusion safety
+//! property over a sequence of such elections.
+
+use cil_sim::{Adversary, Protocol, RunOutcome, Runner, Val};
+
+/// Runs one leader election: every processor proposes its own identity and
+/// the coordination protocol picks the winner.
+///
+/// Returns the elected processor id and the raw outcome. The election is
+/// valid by nontriviality (the winner is some *participating* processor)
+/// and unique by consistency.
+///
+/// # Panics
+///
+/// Panics if the run does not reach agreement within `max_steps` (the
+/// randomized protocols make this astronomically unlikely for sensible
+/// budgets).
+pub fn elect_leader<P, A>(protocol: &P, adversary: A, seed: u64, max_steps: u64) -> (usize, RunOutcome<P>)
+where
+    P: Protocol,
+    A: Adversary<P>,
+{
+    let n = protocol.processes();
+    let inputs: Vec<Val> = (0..n).map(|i| Val(i as u64)).collect();
+    let out = Runner::new(protocol, &inputs, adversary)
+        .seed(seed)
+        .max_steps(max_steps)
+        .run();
+    let winner = out
+        .agreement()
+        .expect("election did not reach agreement within the step budget");
+    assert!((winner.0 as usize) < n, "winner must be a participant");
+    (winner.0 as usize, out)
+}
+
+/// A checker for the mutual-exclusion safety property across rounds of
+/// elections: at most one processor per round enters the critical section,
+/// and it must be a processor that actually competed.
+#[derive(Debug, Default)]
+pub struct MutexLog {
+    entries: Vec<(u64, usize)>, // (round, pid)
+}
+
+impl MutexLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `pid` entered the critical section in `round`.
+    pub fn enter(&mut self, round: u64, pid: usize) {
+        self.entries.push((round, pid));
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Verifies mutual exclusion: no round has two different entrants.
+    pub fn mutual_exclusion_holds(&self) -> bool {
+        use std::collections::HashMap;
+        let mut by_round: HashMap<u64, usize> = HashMap::new();
+        for &(round, pid) in &self.entries {
+            match by_round.insert(round, pid) {
+                Some(prev) if prev != pid => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+}
+
+/// A replicated command log built from repeated coordination instances —
+/// the canonical downstream use of consensus (state-machine replication in
+/// miniature).
+///
+/// Each *slot* of the log runs one fresh instance of the given coordination
+/// protocol; every processor proposes the next command from its own queue,
+/// and the instance's agreed value becomes the slot's committed entry.
+/// Consistency of each instance makes all replicas' logs identical;
+/// nontriviality makes every committed entry a genuinely proposed command.
+#[derive(Debug)]
+pub struct ReplicatedLog {
+    committed: Vec<Val>,
+}
+
+impl ReplicatedLog {
+    /// Builds a log of `slots` entries over protocol instances produced by
+    /// `protocol` (one reusable instance is fine — protocols are pure) with
+    /// per-slot adversaries from `adversary` and per-processor command
+    /// queues (`commands[pid][slot]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot fails to reach agreement within `max_steps` (the
+    /// protocols make this vanishingly unlikely), or if any command queue
+    /// is shorter than `slots`.
+    pub fn build<P, A>(
+        protocol: &P,
+        commands: &[Vec<Val>],
+        slots: usize,
+        mut adversary: impl FnMut(u64) -> A,
+        max_steps: u64,
+    ) -> Self
+    where
+        P: Protocol,
+        A: Adversary<P>,
+    {
+        let n = protocol.processes();
+        assert_eq!(commands.len(), n, "one command queue per processor");
+        let mut committed = Vec::with_capacity(slots);
+        for slot in 0..slots {
+            let inputs: Vec<Val> = (0..n)
+                .map(|pid| {
+                    *commands[pid]
+                        .get(slot)
+                        .expect("command queue long enough for every slot")
+                })
+                .collect();
+            let out = Runner::new(protocol, &inputs, adversary(slot as u64))
+                .seed(slot as u64 ^ 0x10C)
+                .max_steps(max_steps)
+                .run();
+            assert!(out.consistent(), "slot {slot}: replicas diverged");
+            assert!(out.nontrivial(), "slot {slot}: committed a non-command");
+            let v = out
+                .agreement()
+                .expect("slot did not commit within the step budget");
+            committed.push(v);
+        }
+        ReplicatedLog { committed }
+    }
+
+    /// The committed entries, in slot order.
+    pub fn entries(&self) -> &[Val] {
+        &self.committed
+    }
+
+    /// Number of committed slots.
+    pub fn len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.committed.is_empty()
+    }
+
+    /// Verifies that every committed entry was proposed by some processor
+    /// for that slot.
+    pub fn every_entry_was_proposed(&self, commands: &[Vec<Val>]) -> bool {
+        self.committed
+            .iter()
+            .enumerate()
+            .all(|(slot, v)| commands.iter().any(|q| q.get(slot) == Some(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::n_unbounded::NUnbounded;
+    use crate::two::TwoProcessor;
+    use cil_sim::RandomScheduler;
+
+    #[test]
+    fn two_processor_election_names_a_participant() {
+        let p = TwoProcessor::new();
+        for seed in 0..50 {
+            let (winner, out) = elect_leader(&p, RandomScheduler::new(seed), seed, 100_000);
+            assert!(winner < 2);
+            assert!(out.consistent());
+        }
+    }
+
+    #[test]
+    fn three_processor_election_is_unique_per_round() {
+        let p = NUnbounded::three();
+        let mut log = MutexLog::new();
+        for round in 0..30 {
+            let (winner, _) = elect_leader(&p, RandomScheduler::new(round), round, 1_000_000);
+            log.enter(round, winner);
+        }
+        assert_eq!(log.len(), 30);
+        assert!(log.mutual_exclusion_holds());
+    }
+
+    #[test]
+    fn mutex_log_detects_violations() {
+        let mut log = MutexLog::new();
+        log.enter(0, 1);
+        log.enter(0, 2);
+        assert!(!log.mutual_exclusion_holds());
+    }
+
+    #[test]
+    fn mutex_log_allows_repeated_entries_by_the_same_winner() {
+        let mut log = MutexLog::new();
+        log.enter(0, 1);
+        log.enter(0, 1);
+        log.enter(1, 2);
+        assert!(log.mutual_exclusion_holds());
+    }
+
+    #[test]
+    fn replicated_log_commits_proposed_commands_in_order() {
+        let p = NUnbounded::three();
+        let commands: Vec<Vec<Val>> = (0..3)
+            .map(|pid| (0..10).map(|s| Val(pid * 100 + s)).collect())
+            .collect();
+        let log = ReplicatedLog::build(
+            &p,
+            &commands,
+            10,
+            |slot| RandomScheduler::new(slot * 7 + 1),
+            1_000_000,
+        );
+        assert_eq!(log.len(), 10);
+        assert!(log.every_entry_was_proposed(&commands));
+    }
+
+    #[test]
+    fn replicated_log_with_unanimous_queues_is_that_queue() {
+        let p = TwoProcessor::new();
+        let q: Vec<Val> = (0..5).map(Val).collect();
+        let commands = vec![q.clone(), q.clone()];
+        let log = ReplicatedLog::build(&p, &commands, 5, RandomScheduler::new, 100_000);
+        assert_eq!(log.entries(), &q[..]);
+    }
+
+    #[test]
+    fn replicated_log_survives_adaptive_scheduling() {
+        let p = NUnbounded::three();
+        let commands: Vec<Vec<Val>> = (0..3)
+            .map(|pid| (0..6).map(|s| Val(pid + 2 * s)).collect())
+            .collect();
+        let log = ReplicatedLog::build(
+            &p,
+            &commands,
+            6,
+            |_| cil_sim::SplitKeeper::new(),
+            1_000_000,
+        );
+        assert_eq!(log.len(), 6);
+        assert!(log.every_entry_was_proposed(&commands));
+    }
+
+    #[test]
+    #[should_panic(expected = "command queue")]
+    fn short_command_queue_is_rejected() {
+        let p = TwoProcessor::new();
+        let commands = vec![vec![Val(1)], vec![Val(2)]];
+        let _ = ReplicatedLog::build(&p, &commands, 3, RandomScheduler::new, 100_000);
+    }
+}

@@ -1,0 +1,62 @@
+//! # cil-core — the Chor–Israeli–Li coordination protocols (PODC 1987)
+//!
+//! A from-scratch implementation of every protocol in *"On Processor
+//! Coordination Using Asynchronous Hardware"* (Chor, Israeli, Li; PODC
+//! 1987): randomized **wait-free consensus** for asynchronous processors
+//! that communicate only through atomic read/write registers — no
+//! test-and-set, no message passing, an adaptive adversary scheduler, and
+//! tolerance of up to `n − 1` fail-stop crashes.
+//!
+//! The **coordination problem**: every processor starts with an input value
+//! and must irrevocably decide an output such that (1) *consistency* — all
+//! decided outputs are equal; (2) *nontriviality* — the output is the input
+//! of some processor active in the run; (3) *termination* — every processor
+//! that takes enough steps decides (with probability → 1 for randomized
+//! protocols), under **every** schedule.
+//!
+//! | module | paper item | contents |
+//! |---|---|---|
+//! | [`two`] | §4, Fig. 1 | the 2-processor protocol (expected ≤ 10 steps) |
+//! | [`kvalued`] | §4, Thm 5 | k-valued coordination from binary, ×⌈log₂k⌉ |
+//! | [`n_unbounded`] | §5, Fig. 2 | 3-processor (and n-processor) protocol, unbounded `(pref,num)` registers |
+//! | [`three_bounded`] | §6, Fig. 3 | 3-processor protocol with *bounded* registers |
+//! | [`naive`] | §5 intro | the "natural" protocol that fails, and the adversary that kills it |
+//! | [`deterministic`] | §3 | deterministic victims for the Theorem 4 impossibility machinery |
+//! | [`apps`] | §1 | mutual exclusion / leader election on top of coordination |
+//!
+//! Protocols implement [`cil_sim::Protocol`] (pure probabilistic transition
+//! functions), so the same code runs under the Monte-Carlo executor
+//! ([`cil_sim::Runner`]), on real OS threads over `AtomicU64` registers
+//! ([`cil_sim::run_on_threads`]), and inside the exhaustive model checker /
+//! MDP solver of the `cil-mc` crate.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cil_core::two::TwoProcessor;
+//! use cil_sim::{Runner, RandomScheduler, Val};
+//!
+//! let protocol = TwoProcessor::new();
+//! let outcome = Runner::new(&protocol, &[Val::A, Val::B], RandomScheduler::new(7))
+//!     .seed(42)
+//!     .run();
+//! let agreed = outcome.agreement().expect("both processors decide");
+//! assert!(agreed == Val::A || agreed == Val::B);
+//! assert!(outcome.consistent() && outcome.nontrivial());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod deterministic;
+pub mod kvalued;
+pub mod n_unbounded;
+pub mod n_unbounded_1w1r;
+pub mod naive;
+pub mod three_bounded;
+pub mod two;
+
+pub use cil_sim::{Choice, Op, Protocol, Val};
+
+mod packing;

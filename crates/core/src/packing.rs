@@ -1,0 +1,142 @@
+//! Word-packing of protocol register values, enabling execution on real
+//! hardware registers (`AtomicU64`) via [`cil_sim::run_on_threads`].
+//!
+//! Every register of the paper's protocols is *bounded* (or, for §5's `num`
+//! field, bounded in any feasible run), so each packs into a single machine
+//! word — the concrete substance behind the paper's "implementable in
+//! existing technology".
+
+use crate::n_unbounded::NReg;
+use crate::three_bounded::{BReg, Hist, RunReg, Tag};
+use cil_registers::Packable;
+use cil_sim::Val;
+
+impl Packable for NReg {
+    /// Packs `(pref, num)` as `pref_code << 48 | num`. Supports `pref`
+    /// values below 2¹⁵ and `num` below 2⁴⁸ — far beyond anything a run can
+    /// produce (Theorem 9: `P[num = k] ≤ (3/4)^k`).
+    fn pack(&self) -> u64 {
+        let pref_code = match self.pref {
+            None => 0u64,
+            Some(Val(v)) => {
+                assert!(v < (1 << 15), "pref value too large to pack");
+                v + 1
+            }
+        };
+        assert!(self.num < (1 << 48), "num too large to pack");
+        (pref_code << 48) | self.num
+    }
+
+    fn unpack(word: u64) -> Self {
+        let pref_code = word >> 48;
+        let num = word & ((1 << 48) - 1);
+        let pref = if pref_code == 0 {
+            None
+        } else {
+            Some(Val(pref_code - 1))
+        };
+        NReg { pref, num }
+    }
+}
+
+fn tag_code(tag: Tag) -> u64 {
+    match tag {
+        Tag::V(Val::A) => 0,
+        Tag::V(Val::B) => 1,
+        Tag::Pref(Val::A) => 2,
+        Tag::Pref(Val::B) => 3,
+        _ => panic!("bounded protocol tags carry binary values"),
+    }
+}
+
+fn tag_decode(code: u64) -> Tag {
+    match code {
+        0 => Tag::V(Val::A),
+        1 => Tag::V(Val::B),
+        2 => Tag::Pref(Val::A),
+        _ => Tag::Pref(Val::B),
+    }
+}
+
+fn hist_code(h: Hist) -> u64 {
+    match h {
+        Hist::A => 0,
+        Hist::B => 1,
+        Hist::C => 2,
+    }
+}
+
+fn hist_decode(code: u64) -> Hist {
+    match code {
+        0 => Hist::A,
+        1 => Hist::B,
+        _ => Hist::C,
+    }
+}
+
+impl Packable for BReg {
+    /// Dense encoding of the 75-value bounded alphabet (fits in 7 bits).
+    fn pack(&self) -> u64 {
+        match self {
+            BReg::Bot => 0,
+            BReg::Dec(Val::A) => 1,
+            BReg::Dec(Val::B) => 2,
+            BReg::Dec(v) => panic!("bounded protocol decisions are binary, got {v}"),
+            BReg::Run(r) => {
+                3 + ((u64::from(r.ctr) - 1) * 4 + tag_code(r.tag)) * 3 + hist_code(r.hist)
+            }
+        }
+    }
+
+    fn unpack(word: u64) -> Self {
+        match word {
+            0 => BReg::Bot,
+            1 => BReg::Dec(Val::A),
+            2 => BReg::Dec(Val::B),
+            w => {
+                let w = w - 3;
+                let hist = hist_decode(w % 3);
+                let rest = w / 3;
+                let tag = tag_decode(rest % 4);
+                let ctr = (rest / 4 + 1) as u8;
+                BReg::Run(RunReg { ctr, tag, hist })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::three_bounded::register_alphabet;
+
+    #[test]
+    fn nreg_round_trips() {
+        for pref in [None, Some(Val::A), Some(Val::B), Some(Val(77))] {
+            for num in [0u64, 1, 9, 1 << 40] {
+                let r = NReg { pref, num };
+                assert_eq!(NReg::unpack(r.pack()), r);
+            }
+        }
+    }
+
+    #[test]
+    fn nreg_bot_packs_to_zero() {
+        assert_eq!(NReg::BOT.pack(), 0);
+    }
+
+    #[test]
+    fn breg_round_trips_over_the_whole_alphabet() {
+        for v in register_alphabet() {
+            assert_eq!(BReg::unpack(v.pack()), v, "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn breg_packings_are_distinct_and_small() {
+        use std::collections::HashSet;
+        let words: HashSet<u64> = register_alphabet().iter().map(Packable::pack).collect();
+        assert_eq!(words.len(), 75);
+        assert!(words.iter().all(|&w| w < 128), "alphabet fits in 7 bits");
+    }
+}

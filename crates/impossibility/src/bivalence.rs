@@ -1,0 +1,196 @@
+//! The Theorem 4 adversary: a mechanically constructed infinite schedule.
+//!
+//! Theorem 4 of the paper proves that every deterministic coordination
+//! protocol admits an infinite schedule along which no processor ever
+//! decides, by induction: Lemma 2 gives a bivalent initial configuration,
+//! and Lemma 3 shows that from a bivalent configuration some single step
+//! leads to another bivalent configuration. [`construct_infinite_schedule`] runs the
+//! induction *constructively* against a concrete deterministic protocol,
+//! using the exact [`ValenceMap`] as its oracle, and emits the schedule.
+//!
+//! For victims that additionally forfeit termination outright, a step may
+//! lead from a bivalent into a *blocked* configuration (no decision
+//! reachable at all); the adversary accepts those too — the theorem's goal,
+//! "no processor ever terminates", is preserved either way.
+
+use crate::config::{successors, Config};
+use crate::valence::{Valence, ValenceMap};
+use cil_sim::{Protocol, Val};
+
+/// The result of driving the Theorem 4 construction for a number of steps.
+#[derive(Debug)]
+pub struct InfiniteScheduleDemo {
+    /// The schedule constructed (processor ids, in order).
+    pub schedule: Vec<usize>,
+    /// Valence of every configuration along the run (initial first).
+    pub valences: Vec<Valence>,
+    /// Whether any processor decided at any point (must be `false`).
+    pub anyone_decided: bool,
+}
+
+/// Drives `protocol` from the given inputs for `steps` steps, at each point
+/// choosing a processor whose (unique, deterministic) successor keeps the
+/// run undecidable — bivalent where possible, blocked otherwise.
+///
+/// Returns `Err` with the partial demo if the construction gets stuck,
+/// which Theorem 4 guarantees cannot happen for a consistent, nontrivial
+/// deterministic protocol started in a bivalent configuration.
+pub fn construct_infinite_schedule<P: Protocol>(
+    protocol: &P,
+    inputs: &[Val],
+    steps: usize,
+    max_configs: usize,
+) -> Result<InfiniteScheduleDemo, InfiniteScheduleDemo> {
+    let map = ValenceMap::build(protocol, inputs, max_configs);
+    let avoid = avoidance_set(protocol, inputs, max_configs);
+    let mut cfg: Config<P> = map.initial().clone();
+    let mut schedule = Vec::with_capacity(steps);
+    let mut valences = vec![map.valence(&cfg)];
+    let mut anyone_decided = cfg.any_decided(protocol);
+
+    for _ in 0..steps {
+        // Prefer a bivalence-preserving step (Lemma 3); fall back to any
+        // undecided successor from which decisions remain avoidable forever.
+        let mut pick: Option<(usize, Config<P>)> = None;
+        let mut fallback: Option<(usize, Config<P>)> = None;
+        for pid in cfg.eligible(protocol) {
+            let succ = successors(protocol, &cfg, pid)
+                .pop()
+                .expect("deterministic successor")
+                .1;
+            if succ.any_decided(protocol) || !avoid.contains(&succ) {
+                continue;
+            }
+            if matches!(map.valence(&succ), Valence::Bivalent(..)) {
+                pick = Some((pid, succ));
+                break;
+            }
+            fallback = Some((pid, succ));
+        }
+        let (pid, next) = match pick.or(fallback) {
+            Some(x) => x,
+            None => {
+                return Err(InfiniteScheduleDemo {
+                    schedule,
+                    valences,
+                    anyone_decided,
+                })
+            }
+        };
+        schedule.push(pid);
+        anyone_decided |= next.any_decided(protocol);
+        valences.push(map.valence(&next));
+        cfg = next;
+    }
+
+    Ok(InfiniteScheduleDemo {
+        schedule,
+        valences,
+        anyone_decided,
+    })
+}
+
+/// The set of undecided configurations from which the adversary can avoid
+/// decisions **forever**: the greatest fixpoint of "undecided and some
+/// successor stays in the set". Theorem 4 says this set is non-empty (it
+/// contains a reachable bivalent chain) for every consistent, nontrivial
+/// deterministic protocol.
+pub fn avoidance_set<P: Protocol>(
+    protocol: &P,
+    inputs: &[Val],
+    max_configs: usize,
+) -> std::collections::HashSet<Config<P>> {
+    use std::collections::HashSet;
+    // Enumerate the reachable graph.
+    let init = Config::initial(protocol, inputs);
+    let mut seen: HashSet<Config<P>> = HashSet::new();
+    let mut stack = vec![init];
+    while let Some(cfg) = stack.pop() {
+        assert!(seen.len() <= max_configs, "graph exceeds {max_configs}");
+        if !seen.insert(cfg.clone()) {
+            continue;
+        }
+        for pid in cfg.eligible(protocol) {
+            for (_, s) in successors(protocol, &cfg, pid) {
+                stack.push(s);
+            }
+        }
+    }
+    // Greatest fixpoint by iterative pruning.
+    let mut set: HashSet<Config<P>> = seen
+        .into_iter()
+        .filter(|c| !c.any_decided(protocol))
+        .collect();
+    loop {
+        let keep: HashSet<Config<P>> = set
+            .iter()
+            .filter(|c| {
+                c.eligible(protocol).into_iter().any(|pid| {
+                    successors(protocol, c, pid)
+                        .into_iter()
+                        .any(|(_, s)| set.contains(&s))
+                })
+            })
+            .cloned()
+            .collect();
+        if keep.len() == set.len() {
+            return keep;
+        }
+        set = keep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cil_core::deterministic::{DetRule, DetTwo};
+
+    #[test]
+    fn theorem_4_schedule_exists_for_every_victim() {
+        for rule in DetRule::ALL {
+            let p = DetTwo::new(rule);
+            let demo = construct_infinite_schedule(&p, &[Val::A, Val::B], 10_000, 1_000_000)
+                .unwrap_or_else(|_| panic!("{rule}: construction got stuck"));
+            assert_eq!(demo.schedule.len(), 10_000, "{rule}");
+            assert!(!demo.anyone_decided, "{rule}: someone decided");
+        }
+    }
+
+    #[test]
+    fn the_schedule_keeps_every_configuration_undecidable() {
+        let p = DetTwo::new(DetRule::AlwaysAdopt);
+        let demo =
+            construct_infinite_schedule(&p, &[Val::A, Val::B], 2_000, 1_000_000).expect("runs");
+        // For the copycat the construction stays strictly bivalent — the
+        // pure Lemma 3 induction, never needing the blocked fallback.
+        assert!(demo
+            .valences
+            .iter()
+            .all(|v| matches!(v, Valence::Bivalent(..))));
+    }
+
+    #[test]
+    fn both_processors_appear_infinitely_often_for_the_copycat() {
+        // The constructed schedule is not a trivial starvation schedule:
+        // for the copycat both processors keep taking steps.
+        let p = DetTwo::new(DetRule::AlwaysAdopt);
+        let demo =
+            construct_infinite_schedule(&p, &[Val::A, Val::B], 5_000, 1_000_000).expect("runs");
+        let steps0 = demo.schedule.iter().filter(|&&x| x == 0).count();
+        let steps1 = demo.schedule.len() - steps0;
+        assert!(steps0 > 100, "P0 starved: {steps0}");
+        assert!(steps1 > 100, "P1 starved: {steps1}");
+    }
+
+    #[test]
+    fn unanimous_inputs_defeat_the_adversary() {
+        // From I_aa the protocol is univalent everywhere; the construction
+        // must get stuck almost immediately (solo steps still exist that
+        // avoid decisions briefly, but not for long).
+        let p = DetTwo::new(DetRule::AlwaysAdopt);
+        let r = construct_infinite_schedule(&p, &[Val::A, Val::A], 10_000, 1_000_000);
+        assert!(r.is_err(), "adversary should fail on univalent inputs");
+        let demo = r.unwrap_err();
+        assert!(demo.schedule.len() < 10, "stuck late: {}", demo.schedule.len());
+    }
+}

@@ -1,0 +1,245 @@
+//! System configurations and their probabilistic successor relation.
+//!
+//! A configuration (paper §2) is the state of each processor together with
+//! the contents of the shared registers. [`Config`] additionally tracks
+//! which processors have been activated — needed to check nontriviality,
+//! whose definition quantifies over *active* processors.
+//!
+//! [`successors`] enumerates every outcome of activating one processor:
+//! the cross product of the `choose` branches (which operation the step
+//! performs) and the `transit` branches (which state it moves to), each with
+//! its exact probability.
+
+use cil_sim::{Op, Protocol, Val};
+
+/// One explicit configuration of the system.
+///
+/// `active` is a bitmask of processors that have taken at least one step
+/// (capped at 64 processors — far beyond anything explicit-state checking
+/// can explore anyway).
+#[derive(Debug)]
+pub struct Config<P: Protocol> {
+    /// Internal state of each processor.
+    pub states: Vec<P::State>,
+    /// Contents of each register.
+    pub regs: Vec<P::Reg>,
+    /// Bitmask of processors activated so far.
+    pub active: u64,
+}
+
+// Manual impls: derive would wrongly require `P: Clone` etc.
+impl<P: Protocol> Clone for Config<P> {
+    fn clone(&self) -> Self {
+        Config {
+            states: self.states.clone(),
+            regs: self.regs.clone(),
+            active: self.active,
+        }
+    }
+}
+
+impl<P: Protocol> PartialEq for Config<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.active == other.active && self.states == other.states && self.regs == other.regs
+    }
+}
+
+impl<P: Protocol> Eq for Config<P> {}
+
+impl<P: Protocol> std::hash::Hash for Config<P> {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.states.hash(h);
+        self.regs.hash(h);
+        self.active.hash(h);
+    }
+}
+
+impl<P: Protocol> Config<P> {
+    /// The initial configuration for the given inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != protocol.processes()`.
+    pub fn initial(protocol: &P, inputs: &[Val]) -> Self {
+        assert_eq!(inputs.len(), protocol.processes(), "one input per processor");
+        let states = inputs
+            .iter()
+            .enumerate()
+            .map(|(pid, &v)| protocol.init(pid, v))
+            .collect();
+        let regs = protocol.registers().into_iter().map(|s| s.init).collect();
+        Config {
+            states,
+            regs,
+            active: 0,
+        }
+    }
+
+    /// Decision of each processor in this configuration.
+    pub fn decisions(&self, protocol: &P) -> Vec<Option<Val>> {
+        self.states.iter().map(|s| protocol.decision(s)).collect()
+    }
+
+    /// The distinct decision values present (paper: "a configuration has a
+    /// decision value v if some processor is in a decision state with v").
+    pub fn decision_values(&self, protocol: &P) -> Vec<Val> {
+        let mut vals: Vec<Val> = self
+            .states
+            .iter()
+            .filter_map(|s| protocol.decision(s))
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    /// Processors that may take a step: not yet decided. (Crashes are a
+    /// scheduler phenomenon — in the configuration graph a crashed processor
+    /// is simply one that is never scheduled again, so every subset of
+    /// `eligible` pids is a legal future.)
+    pub fn eligible(&self, protocol: &P) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&i| protocol.decision(&self.states[i]).is_none())
+            .collect()
+    }
+
+    /// Whether some processor has decided.
+    pub fn any_decided(&self, protocol: &P) -> bool {
+        self.states.iter().any(|s| protocol.decision(s).is_some())
+    }
+}
+
+/// All outcomes of activating `pid` in `cfg`, with exact probabilities.
+///
+/// # Panics
+///
+/// Panics if `pid` is not eligible (protocols must not be stepped past
+/// their decision state) or if the protocol operates on unknown registers.
+pub fn successors<P: Protocol>(
+    protocol: &P,
+    cfg: &Config<P>,
+    pid: usize,
+) -> Vec<(f64, Config<P>)> {
+    assert!(
+        protocol.decision(&cfg.states[pid]).is_none(),
+        "stepping a decided processor"
+    );
+    let mut out = Vec::new();
+    let choice = protocol.choose(pid, &cfg.states[pid]);
+    let op_total: f64 = choice.branches().iter().map(|&(w, _)| f64::from(w)).sum();
+    for (w_op, op) in choice.branches() {
+        let p_op = f64::from(*w_op) / op_total;
+        // Apply the operation to a copy of the registers.
+        let mut regs = cfg.regs.clone();
+        let read_value = match op {
+            Op::Read(r) => Some(cfg.regs[r.0].clone()),
+            Op::Write(r, v) => {
+                regs[r.0] = v.clone();
+                None
+            }
+        };
+        let tr = protocol.transit(pid, &cfg.states[pid], op, read_value.as_ref());
+        let tr_total: f64 = tr.branches().iter().map(|&(w, _)| f64::from(w)).sum();
+        for (w_tr, next_state) in tr.branches() {
+            let p = p_op * f64::from(*w_tr) / tr_total;
+            let mut states = cfg.states.clone();
+            states[pid] = next_state.clone();
+            out.push((
+                p,
+                Config {
+                    states,
+                    regs: regs.clone(),
+                    active: cfg.active | (1 << pid),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Whether every enabled step of every processor is deterministic from every
+/// configuration reachable within `max_configs` — i.e. the protocol is a
+/// *deterministic* protocol in the paper's sense.
+pub fn is_deterministic<P: Protocol>(protocol: &P, inputs: &[Val], max_configs: usize) -> bool {
+    use std::collections::HashSet;
+    let init = Config::initial(protocol, inputs);
+    let mut seen: HashSet<Config<P>> = HashSet::new();
+    let mut stack = vec![init];
+    while let Some(cfg) = stack.pop() {
+        if seen.len() > max_configs {
+            return true; // bounded verdict: no branching seen so far
+        }
+        if !seen.insert(cfg.clone()) {
+            continue;
+        }
+        for pid in cfg.eligible(protocol) {
+            if !protocol.choose(pid, &cfg.states[pid]).is_det() {
+                return false;
+            }
+            let succs = successors(protocol, &cfg, pid);
+            if succs.len() > 1 {
+                return false;
+            }
+            for (_, s) in succs {
+                stack.push(s);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cil_core::deterministic::{DetRule, DetTwo};
+    use cil_core::two::TwoProcessor;
+
+    #[test]
+    fn initial_config_has_bot_registers_and_no_activity() {
+        let p = TwoProcessor::new();
+        let c = Config::initial(&p, &[Val::A, Val::B]);
+        assert_eq!(c.regs, vec![None, None]);
+        assert_eq!(c.active, 0);
+        assert!(c.decision_values(&p).is_empty());
+        assert_eq!(c.eligible(&p), vec![0, 1]);
+    }
+
+    #[test]
+    fn successor_probabilities_sum_to_one() {
+        let p = TwoProcessor::new();
+        let c0 = Config::initial(&p, &[Val::A, Val::B]);
+        // Drive P0 to its coin-flip state: write, then read the other's b.
+        let c1 = successors(&p, &c0, 0).pop().unwrap().1;
+        let c2 = successors(&p, &c1, 1).pop().unwrap().1;
+        let c3 = successors(&p, &c2, 0).pop().unwrap().1; // read -> conflict
+        let branches = successors(&p, &c3, 0); // coin write
+        assert_eq!(branches.len(), 2);
+        let total: f64 = branches.iter().map(|(p, _)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((branches[0].0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_mask_tracks_steppers() {
+        let p = TwoProcessor::new();
+        let c0 = Config::initial(&p, &[Val::A, Val::A]);
+        let c1 = &successors(&p, &c0, 1)[0].1;
+        assert_eq!(c1.active, 0b10);
+        let c2 = &successors(&p, c1, 0)[0].1;
+        assert_eq!(c2.active, 0b11);
+    }
+
+    #[test]
+    fn randomized_protocol_is_detected_as_randomized() {
+        let p = TwoProcessor::new();
+        assert!(!is_deterministic(&p, &[Val::A, Val::B], 100_000));
+    }
+
+    #[test]
+    fn deterministic_protocol_is_detected_as_deterministic() {
+        for rule in DetRule::ALL {
+            let p = DetTwo::new(rule);
+            assert!(is_deterministic(&p, &[Val::A, Val::B], 100_000), "{rule}");
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Exact adversary analysis by MDP value iteration.
+//!
+//! The paper's Theorem 7 bounds the two-processor protocol's behaviour under
+//! *every* adaptive adversary: decision within expected ≤ 10 steps per
+//! processor, and `P[undecided after k+2 own steps] ≤ (1/4)^{k/2}`. Because
+//! the protocol's configuration space is **finite**, the worst case is not
+//! just boundable but *computable*: the protocol plus an adaptive adversary
+//! is a Markov decision process in which the adversary picks the next
+//! processor (knowing everything except future coins) and the coins resolve
+//! probabilistically.
+//!
+//! [`MdpSolver`] enumerates the closed configuration space and computes:
+//!
+//! * [`MdpSolver::expected_steps`] — the exact supremum, over all adaptive
+//!   adversaries, of the expected number of steps a target processor takes
+//!   before deciding (value iteration on a nonnegative total-cost MDP);
+//! * [`MdpSolver::survival`] — the exact worst-case probability that the
+//!   target is still undecided after `k` of its own activations;
+//! * [`MdpSolver::policy_adversary`] — the optimal adversary itself, as a
+//!   [`cil_sim::Adversary`] that can be replayed in Monte-Carlo runs.
+
+use crate::config::{successors, Config};
+use cil_sim::{Adversary, Protocol, Val, View};
+use std::collections::HashMap;
+
+/// Which cost the adversary maximizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Expected number of activations of one processor until it decides.
+    StepsOf(usize),
+    /// Expected total number of steps until every processor has decided.
+    TotalSteps,
+}
+
+/// The enumerated MDP of a protocol from fixed inputs.
+pub struct MdpSolver<P: Protocol> {
+    configs: Vec<Config<P>>,
+    index: HashMap<Config<P>, usize>,
+    /// `moves[c][j] = (pid, branches)` for each eligible pid.
+    #[allow(clippy::type_complexity)]
+    moves: Vec<Vec<(usize, Vec<(f64, usize)>)>>,
+    initial: usize,
+}
+
+/// Result of a value-iteration solve.
+#[derive(Debug)]
+pub struct Solve {
+    /// Optimal (worst-case) value at the initial configuration.
+    pub value: f64,
+    /// Optimal value of every enumerated configuration.
+    pub values: Vec<f64>,
+    /// Argmax processor per configuration (None = absorbing).
+    pub policy: Vec<Option<usize>>,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+impl<P: Protocol> MdpSolver<P> {
+    /// Enumerates the closed reachable configuration space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space exceeds `max_configs` — the analysis is exact and
+    /// needs the whole graph (use the Monte-Carlo harness for protocols with
+    /// unbounded registers).
+    pub fn build(protocol: &P, inputs: &[Val], max_configs: usize) -> Self {
+        let init = Config::initial(protocol, inputs);
+        let mut configs = vec![init.clone()];
+        let mut index = HashMap::new();
+        index.insert(init, 0usize);
+        let mut moves = Vec::new();
+        let mut next = 0usize;
+        while next < configs.len() {
+            let cfg = configs[next].clone();
+            let mut cfg_moves = Vec::new();
+            for pid in cfg.eligible(protocol) {
+                let mut branches = Vec::new();
+                for (p, succ) in successors(protocol, &cfg, pid) {
+                    let idx = *index.entry(succ.clone()).or_insert_with(|| {
+                        configs.push(succ);
+                        configs.len() - 1
+                    });
+                    assert!(
+                        configs.len() <= max_configs,
+                        "configuration space exceeds {max_configs}"
+                    );
+                    branches.push((p, idx));
+                }
+                cfg_moves.push((pid, branches));
+            }
+            moves.push(cfg_moves);
+            next += 1;
+        }
+        MdpSolver {
+            configs,
+            index,
+            moves,
+            initial: 0,
+        }
+    }
+
+    /// Number of configurations in the space.
+    pub fn size(&self) -> usize {
+        self.configs.len()
+    }
+
+    fn absorbing(&self, protocol: &P, idx: usize, objective: Objective) -> bool {
+        let cfg = &self.configs[idx];
+        match objective {
+            Objective::StepsOf(t) => protocol.decision(&cfg.states[t]).is_some(),
+            Objective::TotalSteps => cfg.eligible(protocol).is_empty(),
+        }
+    }
+
+    /// Value iteration for the worst-case expected cost.
+    ///
+    /// Converges monotonically from below to the least fixpoint, which for
+    /// nonnegative total-cost MDPs equals the supremum over all adversary
+    /// strategies. Stops at sup-norm `tol` or `max_iter` sweeps.
+    pub fn expected_steps(
+        &self,
+        protocol: &P,
+        objective: Objective,
+        tol: f64,
+        max_iter: usize,
+    ) -> Solve {
+        let n = self.configs.len();
+        let mut v = vec![0.0f64; n];
+        let mut policy: Vec<Option<usize>> = vec![None; n];
+        let mut iterations = 0;
+        for it in 0..max_iter {
+            iterations = it + 1;
+            let mut delta = 0.0f64;
+            for i in 0..n {
+                if self.absorbing(protocol, i, objective) {
+                    continue;
+                }
+                let mut best = f64::NEG_INFINITY;
+                let mut best_pid = None;
+                for (pid, branches) in &self.moves[i] {
+                    let cost = match objective {
+                        Objective::StepsOf(t) => f64::from(u8::from(*pid == t)),
+                        Objective::TotalSteps => 1.0,
+                    };
+                    let val: f64 =
+                        cost + branches.iter().map(|&(p, j)| p * v[j]).sum::<f64>();
+                    if val > best {
+                        best = val;
+                        best_pid = Some(*pid);
+                    }
+                }
+                if best_pid.is_none() {
+                    continue; // no eligible moves (should be absorbing)
+                }
+                delta = delta.max((best - v[i]).abs());
+                v[i] = best;
+                policy[i] = best_pid;
+            }
+            if delta < tol {
+                break;
+            }
+        }
+        Solve {
+            value: v[self.initial],
+            values: v,
+            policy,
+            iterations,
+        }
+    }
+
+    /// Worst-case survival curve: for `k = 0..=k_max`, the supremum over
+    /// adversaries of `P[target undecided after k more of its own
+    /// activations]`, from the initial configuration.
+    ///
+    /// Layered fixpoint: within a layer the adversary may take any number
+    /// of non-target steps; a target step consumes one unit of `k`.
+    pub fn survival(
+        &self,
+        protocol: &P,
+        target: usize,
+        k_max: usize,
+        tol: f64,
+        max_iter: usize,
+    ) -> Vec<f64> {
+        let n = self.configs.len();
+        let undecided: Vec<bool> = (0..n)
+            .map(|i| protocol.decision(&self.configs[i].states[target]).is_none())
+            .collect();
+        let mut prev: Vec<f64> = undecided.iter().map(|&u| f64::from(u8::from(u))).collect();
+        let mut curve = vec![prev[self.initial]];
+        for _k in 1..=k_max {
+            // Solve g = T(g) by iteration from 0 (least fixpoint: the
+            // adversary must eventually deliver the target's activation).
+            let mut g = vec![0.0f64; n];
+            for _ in 0..max_iter {
+                let mut delta = 0.0f64;
+                for i in 0..n {
+                    if !undecided[i] {
+                        continue; // g stays 0
+                    }
+                    let mut best = 0.0f64;
+                    for (pid, branches) in &self.moves[i] {
+                        let val: f64 = if *pid == target {
+                            branches.iter().map(|&(p, j)| p * prev[j]).sum()
+                        } else {
+                            branches.iter().map(|&(p, j)| p * g[j]).sum()
+                        };
+                        best = best.max(val);
+                    }
+                    if (best - g[i]).abs() > delta {
+                        delta = (best - g[i]).abs();
+                    }
+                    g[i] = best;
+                }
+                if delta < tol {
+                    break;
+                }
+            }
+            curve.push(g[self.initial]);
+            prev = g;
+        }
+        curve
+    }
+
+    /// Exports the optimal adversary from a solve as a replayable scheduler.
+    pub fn policy_adversary(&self, solve: &Solve) -> PolicyAdversary<P> {
+        let mut map = HashMap::new();
+        for (i, cfg) in self.configs.iter().enumerate() {
+            if let Some(pid) = solve.policy[i] {
+                map.entry((cfg.states.clone(), cfg.regs.clone()))
+                    .or_insert(pid);
+            }
+        }
+        PolicyAdversary { map }
+    }
+
+    /// Looks up a configuration's index (for tests and diagnostics).
+    pub fn find(&self, cfg: &Config<P>) -> Option<usize> {
+        self.index.get(cfg).copied()
+    }
+}
+
+/// The optimal adversary of an [`MdpSolver`] solve, usable as a
+/// [`cil_sim::Adversary`] in Monte-Carlo runs.
+pub struct PolicyAdversary<P: Protocol> {
+    #[allow(clippy::type_complexity)]
+    map: HashMap<(Vec<P::State>, Vec<P::Reg>), usize>,
+}
+
+impl<P: Protocol> std::fmt::Debug for PolicyAdversary<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PolicyAdversary({} configurations)", self.map.len())
+    }
+}
+
+impl<P: Protocol> Adversary<P> for PolicyAdversary<P> {
+    fn pick(&mut self, view: &View<'_, P>) -> usize {
+        let key = (view.states.to_vec(), view.regs.to_vec());
+        if let Some(&pid) = self.map.get(&key) {
+            if !view.crashed[pid] && view.protocol.decision(&view.states[pid]).is_none() {
+                return pid;
+            }
+        }
+        view.eligible()[0]
+    }
+
+    fn name(&self) -> String {
+        "mdp-optimal".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cil_core::two::TwoProcessor;
+    use cil_sim::{Runner, StopWhen};
+
+    #[test]
+    fn space_is_small_and_closed() {
+        let p = TwoProcessor::new();
+        let m = MdpSolver::build(&p, &[Val::A, Val::B], 100_000);
+        assert!(m.size() < 2_000, "space size {}", m.size());
+    }
+
+    #[test]
+    fn equal_inputs_cost_exactly_two_steps() {
+        let p = TwoProcessor::new();
+        let m = MdpSolver::build(&p, &[Val::A, Val::A], 100_000);
+        let s = m.expected_steps(&p, Objective::StepsOf(0), 1e-12, 10_000);
+        assert!((s.value - 2.0).abs() < 1e-9, "value {}", s.value);
+    }
+
+    #[test]
+    fn theorem_7_corollary_is_exactly_tight() {
+        // The paper's Corollary bounds the expectation by 2 + 4·2 = 10.
+        // The exact optimal adaptive adversary achieves it with equality —
+        // the bound is tight, which the paper does not state.
+        let p = TwoProcessor::new();
+        let m = MdpSolver::build(&p, &[Val::A, Val::B], 100_000);
+        let s = m.expected_steps(&p, Objective::StepsOf(0), 1e-12, 100_000);
+        assert!(
+            (s.value - 10.0).abs() < 1e-6,
+            "exact optimum should be 10, got {}",
+            s.value
+        );
+    }
+
+    #[test]
+    fn survival_curve_is_exactly_three_quarters_per_pair() {
+        // Theorem 7's proof: every read–write pair after the initial write
+        // decides with probability ≥ 1/4, so
+        // P[not decided after k+2 own steps] ≤ (3/4)^{k/2}.
+        // (The paper's text displays (1/4)^{k/2}, an evident slip: it would
+        // contradict the paper's own Corollary E ≤ 2 + 4·2.)
+        // The exact worst case meets (3/4)^{k/2} with equality at even k.
+        let p = TwoProcessor::new();
+        let m = MdpSolver::build(&p, &[Val::A, Val::B], 100_000);
+        let curve = m.survival(&p, 0, 20, 1e-13, 200_000);
+        assert!((curve[0] - 1.0).abs() < 1e-12);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "curve must be nonincreasing");
+        }
+        for j in 0..=9 {
+            let expect = 0.75f64.powi(j as i32);
+            let got = curve[2 + 2 * j];
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "survival({}) = {got}, expected (3/4)^{j} = {expect}",
+                2 + 2 * j
+            );
+        }
+        // Odd steps cannot decide (they are writes): the curve is flat
+        // between consecutive even ks.
+        for j in 1..=9 {
+            assert!((curve[2 * j + 1] - curve[2 * j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn optimal_policy_replays_in_the_simulator() {
+        let p = TwoProcessor::new();
+        let m = MdpSolver::build(&p, &[Val::A, Val::B], 100_000);
+        let s = m.expected_steps(&p, Objective::StepsOf(0), 1e-12, 100_000);
+        let runs = 4_000u64;
+        let mut total0 = 0u64;
+        for seed in 0..runs {
+            let adv = m.policy_adversary(&s);
+            let out = Runner::new(&p, &[Val::A, Val::B], adv)
+                .seed(seed)
+                .stop_when(StopWhen::PidDecided(0))
+                .max_steps(100_000)
+                .run();
+            assert!(out.consistent());
+            total0 += out.steps[0];
+        }
+        let mean = total0 as f64 / runs as f64;
+        // Monte-Carlo mean under the optimal policy ≈ the exact value.
+        assert!(
+            (mean - s.value).abs() < 0.4,
+            "MC mean {mean} vs exact {}",
+            s.value
+        );
+    }
+
+    #[test]
+    fn total_steps_objective_is_at_least_per_processor() {
+        let p = TwoProcessor::new();
+        let m = MdpSolver::build(&p, &[Val::A, Val::B], 100_000);
+        let per = m.expected_steps(&p, Objective::StepsOf(0), 1e-10, 100_000);
+        let tot = m.expected_steps(&p, Objective::TotalSteps, 1e-10, 100_000);
+        assert!(tot.value >= per.value - 1e-9);
+        assert!(tot.value <= 20.0 + 1e-9, "total {}", tot.value);
+    }
+}

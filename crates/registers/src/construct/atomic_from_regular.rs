@@ -1,0 +1,254 @@
+//! A 1W1R atomic multivalued register from a regular one.
+//!
+//! The classical sequence-number construction: the underlying regular
+//! register holds a pair `(seq, value)`; the writer increments `seq` on
+//! every write, and the reader keeps the highest pair it has seen, returning
+//! the cached pair whenever a (regular) read returns something older. A
+//! regular register already guarantees old-or-new on overlap; the sequence
+//! guard removes the remaining defect — *new-old inversion* — yielding
+//! atomicity for a single reader.
+//!
+//! The paper uses this fact through Lamport: its protocols assume bounded
+//! atomic 1W1R registers. This construction is the unbounded-counter version
+//! (bounded versions exist but are far outside the paper's scope; the
+//! counters grow only with the number of writes, mirroring how the paper's
+//! §5 protocol tolerates unbounded `num` fields with geometrically vanishing
+//! probability).
+
+use super::{DerivedOp, StepMachine, Store};
+use crate::taxonomy::{IntervalRegister, RegClass, Resolver};
+use std::collections::VecDeque;
+
+/// Encodes `(seq, value)` pairs into the dense domain of one
+/// [`IntervalRegister`] with `value < k` and `seq < max_seq`.
+#[derive(Debug, Clone, Copy)]
+pub struct PairCodec {
+    /// Number of distinct values.
+    pub k: usize,
+    /// Exclusive upper bound on sequence numbers (test-sized).
+    pub max_seq: usize,
+}
+
+impl PairCodec {
+    /// Size of the encoded domain.
+    pub fn domain(&self) -> usize {
+        self.k * self.max_seq
+    }
+
+    /// Encodes a pair.
+    pub fn enc(&self, seq: usize, value: usize) -> usize {
+        debug_assert!(value < self.k && seq < self.max_seq);
+        seq * self.k + value
+    }
+
+    /// Decodes a pair.
+    pub fn dec(&self, word: usize) -> (usize, usize) {
+        (word / self.k, word % self.k)
+    }
+}
+
+/// Writer half: stamps every derived write with the next sequence number.
+#[derive(Debug)]
+pub struct SeqWriter {
+    codec: PairCodec,
+    reg: usize,
+    seq: usize,
+    queue: VecDeque<usize>,
+    mid: Option<(usize, u64)>,
+    history: Vec<DerivedOp>,
+}
+
+impl SeqWriter {
+    /// Creates a writer over store register `reg` scripted with `values`.
+    pub fn new(codec: PairCodec, reg: usize, values: impl IntoIterator<Item = usize>) -> Self {
+        SeqWriter {
+            codec,
+            reg,
+            seq: 0,
+            queue: values.into_iter().collect(),
+            mid: None,
+            history: Vec::new(),
+        }
+    }
+}
+
+impl StepMachine for SeqWriter {
+    fn step(&mut self, store: &mut Store, _resolver: &mut dyn Resolver) {
+        if let Some((v, start)) = self.mid.take() {
+            store.regs[self.reg].end_write().expect("end");
+            self.history.push(DerivedOp {
+                start,
+                end: store.clock,
+                is_write: true,
+                value: v,
+            });
+            return;
+        }
+        if let Some(v) = self.queue.pop_front() {
+            self.seq += 1;
+            store.regs[self.reg]
+                .begin_write(self.codec.enc(self.seq, v))
+                .expect("begin");
+            self.mid = Some((v, store.clock));
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.queue.is_empty() && self.mid.is_none()
+    }
+
+    fn history(&self) -> &[DerivedOp] {
+        &self.history
+    }
+}
+
+/// Reader half: caches the newest pair seen; a stale regular read returns
+/// the cache instead. Set `guard = false` for the negative control (raw
+/// regular reads), which exhibits new-old inversion.
+#[derive(Debug)]
+pub struct SeqReader {
+    codec: PairCodec,
+    reg: usize,
+    guard: bool,
+    best_seq: usize,
+    best_val: usize,
+    remaining: usize,
+    history: Vec<DerivedOp>,
+}
+
+impl SeqReader {
+    /// Creates a reader scripted with `count` derived reads; `init` is the
+    /// derived register's initial value (cached as sequence 0).
+    pub fn new(codec: PairCodec, reg: usize, init: usize, count: usize, guard: bool) -> Self {
+        SeqReader {
+            codec,
+            reg,
+            guard,
+            best_seq: 0,
+            best_val: init,
+            remaining: count,
+            history: Vec::new(),
+        }
+    }
+}
+
+impl StepMachine for SeqReader {
+    fn step(&mut self, store: &mut Store, resolver: &mut dyn Resolver) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let word = store.regs[self.reg].read(resolver);
+        let (seq, val) = self.codec.dec(word);
+        let ret = if !self.guard {
+            val
+        } else if seq >= self.best_seq {
+            self.best_seq = seq;
+            self.best_val = val;
+            val
+        } else {
+            self.best_val
+        };
+        self.history.push(DerivedOp {
+            start: store.clock,
+            end: store.clock,
+            is_write: false,
+            value: ret,
+        });
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn history(&self) -> &[DerivedOp] {
+        &self.history
+    }
+}
+
+/// Builds the underlying regular register for the construction, holding
+/// `(seq = 0, init)`.
+pub fn seq_store(codec: PairCodec, init: usize) -> Store {
+    Store::new(vec![IntervalRegister::new(
+        RegClass::Regular,
+        codec.domain(),
+        codec.enc(0, init),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::run_interleaved;
+    use crate::exhaust::explore;
+    use crate::linearize::{is_linearizable, HistOp};
+
+    fn to_linearize_history(writes: &[DerivedOp], reads: &[DerivedOp]) -> Vec<HistOp> {
+        writes
+            .iter()
+            .map(|w| HistOp::write(w.start, w.end, w.value))
+            .chain(reads.iter().map(|r| HistOp::read(r.start, r.end, r.value)))
+            .collect()
+    }
+
+    #[test]
+    fn guarded_reader_is_atomic_exhaustively() {
+        let codec = PairCodec { k: 3, max_seq: 4 };
+        let leaves = explore(2_000_000, |ch| {
+            let mut store = seq_store(codec, 0);
+            let mut w = SeqWriter::new(codec, 0, [1, 2]);
+            let mut r = SeqReader::new(codec, 0, 0, 3, true);
+            run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
+            let h = to_linearize_history(w.history(), r.history());
+            assert!(
+                is_linearizable(0, &h),
+                "atomicity violated in history {h:?}"
+            );
+        });
+        assert!(leaves > 50, "exploration too shallow: {leaves}");
+        assert!(leaves < 2_000_000, "hit leaf budget");
+    }
+
+    #[test]
+    fn unguarded_reader_exhibits_new_old_inversion() {
+        let codec = PairCodec { k: 3, max_seq: 4 };
+        let mut violations = 0;
+        explore(2_000_000, |ch| {
+            let mut store = seq_store(codec, 0);
+            let mut w = SeqWriter::new(codec, 0, [1, 2]);
+            let mut r = SeqReader::new(codec, 0, 0, 3, false);
+            run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
+            let h = to_linearize_history(w.history(), r.history());
+            if !is_linearizable(0, &h) {
+                violations += 1;
+            }
+        });
+        assert!(violations > 0, "expected new-old inversion without guard");
+    }
+
+    #[test]
+    fn sequential_semantics_match_plain_register() {
+        let codec = PairCodec { k: 4, max_seq: 8 };
+        let mut store = seq_store(codec, 3);
+        let mut res = crate::taxonomy::FixedResolver(0);
+        let mut w = SeqWriter::new(codec, 0, [1]);
+        while !w.is_done() {
+            store.clock += 1;
+            w.step(&mut store, &mut res);
+        }
+        let mut r = SeqReader::new(codec, 0, 3, 1, true);
+        store.clock += 1;
+        r.step(&mut store, &mut res);
+        assert_eq!(r.history()[0].value, 1);
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let codec = PairCodec { k: 5, max_seq: 7 };
+        for seq in 0..7 {
+            for v in 0..5 {
+                assert_eq!(codec.dec(codec.enc(seq, v)), (seq, v));
+            }
+        }
+    }
+}

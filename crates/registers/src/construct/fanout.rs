@@ -1,0 +1,237 @@
+//! Fan-out: one logical 1-writer n-reader register from n per-reader 1W1R
+//! copies — and why it preserves regularity but **not** atomicity.
+//!
+//! The paper's protocols are presented over 1-writer 2-reader registers,
+//! with the full-paper remark that 1W1R suffices. The obvious bridge is
+//! fan-out: the writer keeps one copy per reader and writes them one at a
+//! time. Two classical facts about this bridge, both machine-checked here
+//! over all interleavings × all adversarial resolutions:
+//!
+//! * **per-reader regularity is preserved** — each reader touches only its
+//!   own copy, whose write interval is contained in the derived write's
+//!   interval, so old-or-new semantics carry over;
+//! * **multi-reader atomicity is NOT preserved** — two readers can disagree
+//!   with the real-time order: reader 1 (whose copy is written first) sees
+//!   the new value, and reader 2 *later* sees the old one from its
+//!   still-unwritten copy. The negative test exhibits exactly this.
+//!
+//! This is why `cil-core`'s 1W1R protocol variant cannot simply "pretend"
+//! the copies are one atomic register, and why its correctness argument has
+//! to reason about copy incoherence directly (see
+//! `cil_core::n_unbounded_1w1r`).
+
+use super::{DerivedOp, StepMachine, Store};
+use crate::taxonomy::Resolver;
+use std::collections::VecDeque;
+
+/// Writer half: a derived write updates the `n` per-reader copies in index
+/// order, each as a begin/end interval on the underlying register.
+#[derive(Debug)]
+pub struct FanoutWriter {
+    n: usize,
+    queue: VecDeque<usize>,
+    /// (value, next copy to begin, mid-write?) of the derived op in flight.
+    cur: Option<(usize, usize, bool)>,
+    start: u64,
+    history: Vec<DerivedOp>,
+}
+
+impl FanoutWriter {
+    /// Creates a writer over store registers `0..n` (the copies), scripted
+    /// with the derived writes in `values`.
+    pub fn new(n: usize, values: impl IntoIterator<Item = usize>) -> Self {
+        FanoutWriter {
+            n,
+            queue: values.into_iter().collect(),
+            cur: None,
+            start: 0,
+            history: Vec::new(),
+        }
+    }
+}
+
+impl StepMachine for FanoutWriter {
+    fn step(&mut self, store: &mut Store, _resolver: &mut dyn Resolver) {
+        if self.cur.is_none() {
+            if let Some(v) = self.queue.pop_front() {
+                self.cur = Some((v, 0, false));
+                self.start = store.clock;
+            } else {
+                return;
+            }
+        }
+        let (v, copy, mid) = self.cur.expect("in flight");
+        if mid {
+            store.regs[copy].end_write().expect("end");
+            if copy + 1 < self.n {
+                self.cur = Some((v, copy + 1, false));
+            } else {
+                self.cur = None;
+                self.history.push(DerivedOp {
+                    start: self.start,
+                    end: store.clock,
+                    is_write: true,
+                    value: v,
+                });
+            }
+        } else {
+            store.regs[copy].begin_write(v).expect("begin");
+            self.cur = Some((v, copy, true));
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.queue.is_empty() && self.cur.is_none()
+    }
+
+    fn history(&self) -> &[DerivedOp] {
+        &self.history
+    }
+}
+
+/// One reader of the fan-out: a derived read is a single primitive read of
+/// its own copy.
+#[derive(Debug)]
+pub struct FanoutReader {
+    copy: usize,
+    remaining: usize,
+    history: Vec<DerivedOp>,
+}
+
+impl FanoutReader {
+    /// Creates reader `copy` (reads store register `copy`), scripted with
+    /// `count` derived reads.
+    pub fn new(copy: usize, count: usize) -> Self {
+        FanoutReader {
+            copy,
+            remaining: count,
+            history: Vec::new(),
+        }
+    }
+}
+
+impl StepMachine for FanoutReader {
+    fn step(&mut self, store: &mut Store, resolver: &mut dyn Resolver) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let v = store.regs[self.copy].read(resolver);
+        self.history.push(DerivedOp {
+            start: store.clock,
+            end: store.clock,
+            is_write: false,
+            value: v,
+        });
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn history(&self) -> &[DerivedOp] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{check_regular, run_interleaved};
+    use crate::exhaust::explore;
+    use crate::linearize::{is_linearizable, HistOp};
+    use crate::taxonomy::{IntervalRegister, RegClass};
+
+    fn copies(n: usize, init: usize) -> Store {
+        Store::new(
+            (0..n)
+                .map(|_| IntervalRegister::new(RegClass::Atomic, 2, init))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn per_reader_regularity_is_preserved_exhaustively() {
+        // Each reader individually sees a regular register.
+        let leaves = explore(5_000_000, |ch| {
+            let mut store = copies(2, 0);
+            let mut w = FanoutWriter::new(2, [1, 0]);
+            let mut r0 = FanoutReader::new(0, 2);
+            let mut r1 = FanoutReader::new(1, 2);
+            run_interleaved(&mut store, &mut [&mut w, &mut r0, &mut r1], ch);
+            check_regular(0, w.history(), r0.history()).expect("reader 0 regularity");
+            check_regular(0, w.history(), r1.history()).expect("reader 1 regularity");
+        });
+        assert!(leaves > 500, "exploration too shallow: {leaves}");
+        assert!(leaves < 5_000_000, "hit leaf budget");
+    }
+
+    #[test]
+    fn multi_reader_atomicity_fails_exhaustively_findable() {
+        // Combined two-reader history: the fan-out must exhibit at least
+        // one non-linearizable outcome (reader 0 sees new, reader 1 later
+        // sees old from its lagging copy).
+        let mut violations = 0u64;
+        explore(5_000_000, |ch| {
+            let mut store = copies(2, 0);
+            let mut w = FanoutWriter::new(2, [1]);
+            let mut r0 = FanoutReader::new(0, 1);
+            let mut r1 = FanoutReader::new(1, 1);
+            run_interleaved(&mut store, &mut [&mut w, &mut r0, &mut r1], ch);
+            let mut h: Vec<HistOp> = w
+                .history()
+                .iter()
+                .map(|o| HistOp::write(o.start, o.end, o.value))
+                .collect();
+            // Order the two reads by their (distinct) clock stamps.
+            for r in [&r0, &r1] {
+                for o in r.history() {
+                    h.push(HistOp::read(o.start, o.end, o.value));
+                }
+            }
+            if !is_linearizable(0, &h) {
+                violations += 1;
+            }
+        });
+        assert!(
+            violations > 0,
+            "fan-out unexpectedly linearizable in every interleaving"
+        );
+    }
+
+    #[test]
+    fn quiescent_fanout_reads_agree() {
+        // With the write fully completed, every reader returns the new
+        // value — incoherence is transient only.
+        let mut store = copies(3, 0);
+        let mut res = crate::taxonomy::FixedResolver(0);
+        let mut w = FanoutWriter::new(3, [1]);
+        while !w.is_done() {
+            store.clock += 1;
+            w.step(&mut store, &mut res);
+        }
+        for copy in 0..3 {
+            let mut r = FanoutReader::new(copy, 1);
+            store.clock += 1;
+            r.step(&mut store, &mut res);
+            assert_eq!(r.history()[0].value, 1, "copy {copy}");
+        }
+    }
+
+    #[test]
+    fn writer_completes_all_copies_before_finishing() {
+        let mut store = copies(2, 0);
+        let mut res = crate::taxonomy::FixedResolver(0);
+        let mut w = FanoutWriter::new(2, [1]);
+        // 2 copies × (begin + end) = 4 primitive steps.
+        for _ in 0..3 {
+            store.clock += 1;
+            w.step(&mut store, &mut res);
+            assert!(!w.is_done());
+        }
+        store.clock += 1;
+        w.step(&mut store, &mut res);
+        assert!(w.is_done());
+        assert_eq!(w.history().len(), 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! A regular boolean register from a safe boolean register.
+//!
+//! Lamport's first construction: a *safe* boolean register only misbehaves
+//! when a read overlaps a write, and then it may return either boolean — but
+//! "either boolean" is exactly `{old, new}` **provided the write actually
+//! changes the value**. So a writer that suppresses writes of the current
+//! value turns a safe boolean register into a regular one.
+//!
+//! The negative control [`TransparentWriter`] writes through unconditionally;
+//! the exhaustive tests show regularity then fails (a read overlapping a
+//! rewrite of `v` may return `1 - v`).
+
+use super::{DerivedOp, StepMachine, Store};
+use crate::taxonomy::Resolver;
+use std::collections::VecDeque;
+
+/// Writer half of the construction: writes the underlying safe register only
+/// when the derived value changes.
+#[derive(Debug)]
+pub struct QuietWriter {
+    reg: usize,
+    last: usize,
+    queue: VecDeque<usize>,
+    mid_write: bool,
+    cur_start: u64,
+    history: Vec<DerivedOp>,
+}
+
+impl QuietWriter {
+    /// Creates a writer over store register `reg` (initially holding
+    /// `init`), scripted to perform the derived writes in `values`.
+    pub fn new(reg: usize, init: usize, values: impl IntoIterator<Item = usize>) -> Self {
+        QuietWriter {
+            reg,
+            last: init,
+            queue: values.into_iter().collect(),
+            mid_write: false,
+            cur_start: 0,
+            history: Vec::new(),
+        }
+    }
+}
+
+impl StepMachine for QuietWriter {
+    fn step(&mut self, store: &mut Store, _resolver: &mut dyn Resolver) {
+        if self.mid_write {
+            store.regs[self.reg].end_write().expect("mid write");
+            self.mid_write = false;
+            let v = self.last;
+            self.history.push(DerivedOp {
+                start: self.cur_start,
+                end: store.clock,
+                is_write: true,
+                value: v,
+            });
+            return;
+        }
+        let v = match self.queue.pop_front() {
+            Some(v) => v,
+            None => return,
+        };
+        if v == self.last {
+            // Suppressed write: completes in this single (no-op) step.
+            self.history.push(DerivedOp {
+                start: store.clock,
+                end: store.clock,
+                is_write: true,
+                value: v,
+            });
+        } else {
+            store.regs[self.reg].begin_write(v).expect("begin");
+            self.last = v;
+            self.mid_write = true;
+            self.cur_start = store.clock;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.queue.is_empty() && !self.mid_write
+    }
+
+    fn history(&self) -> &[DerivedOp] {
+        &self.history
+    }
+}
+
+/// Negative control: writes through even when the value is unchanged.
+/// Over a safe register this is **not** regular.
+#[derive(Debug)]
+pub struct TransparentWriter {
+    reg: usize,
+    queue: VecDeque<usize>,
+    mid_write: Option<usize>,
+    cur_start: u64,
+    history: Vec<DerivedOp>,
+}
+
+impl TransparentWriter {
+    /// Creates a write-through writer over store register `reg`.
+    pub fn new(reg: usize, values: impl IntoIterator<Item = usize>) -> Self {
+        TransparentWriter {
+            reg,
+            queue: values.into_iter().collect(),
+            mid_write: None,
+            cur_start: 0,
+            history: Vec::new(),
+        }
+    }
+}
+
+impl StepMachine for TransparentWriter {
+    fn step(&mut self, store: &mut Store, _resolver: &mut dyn Resolver) {
+        if let Some(v) = self.mid_write.take() {
+            store.regs[self.reg].end_write().expect("mid write");
+            self.history.push(DerivedOp {
+                start: self.cur_start,
+                end: store.clock,
+                is_write: true,
+                value: v,
+            });
+            return;
+        }
+        if let Some(v) = self.queue.pop_front() {
+            store.regs[self.reg].begin_write(v).expect("begin");
+            self.mid_write = Some(v);
+            self.cur_start = store.clock;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.queue.is_empty() && self.mid_write.is_none()
+    }
+
+    fn history(&self) -> &[DerivedOp] {
+        &self.history
+    }
+}
+
+/// Reader half: a derived read is a single primitive read of the safe
+/// register (resolved adversarially when it overlaps a write).
+#[derive(Debug)]
+pub struct DirectReader {
+    reg: usize,
+    remaining: usize,
+    history: Vec<DerivedOp>,
+}
+
+impl DirectReader {
+    /// Creates a reader scripted to perform `count` derived reads on `reg`.
+    pub fn new(reg: usize, count: usize) -> Self {
+        DirectReader {
+            reg,
+            remaining: count,
+            history: Vec::new(),
+        }
+    }
+}
+
+impl StepMachine for DirectReader {
+    fn step(&mut self, store: &mut Store, resolver: &mut dyn Resolver) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let v = store.regs[self.reg].read(resolver);
+        self.history.push(DerivedOp {
+            start: store.clock,
+            end: store.clock,
+            is_write: false,
+            value: v,
+        });
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn history(&self) -> &[DerivedOp] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{check_regular, run_interleaved};
+    use crate::exhaust::explore;
+    use crate::taxonomy::{IntervalRegister, RegClass};
+
+    fn safe_bool(init: usize) -> Store {
+        Store::new(vec![IntervalRegister::new(RegClass::Safe, 2, init)])
+    }
+
+    #[test]
+    fn quiet_writer_yields_regular_register_exhaustively() {
+        // All interleavings × all safe resolutions of 3 derived writes
+        // (including a suppressed duplicate) against 3 derived reads.
+        let leaves = explore(1_000_000, |ch| {
+            let mut store = safe_bool(0);
+            let mut w = QuietWriter::new(0, 0, [1, 1, 0]);
+            let mut r = DirectReader::new(0, 3);
+            run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
+            check_regular(0, w.history(), r.history()).expect("regularity violated");
+        });
+        assert!(leaves > 50, "exploration too shallow: {leaves} leaves");
+        assert!(leaves < 1_000_000, "exploration hit the leaf budget");
+    }
+
+    #[test]
+    fn transparent_writer_violates_regularity() {
+        // Writing the *same* value through a safe register lets an
+        // overlapping read return the other boolean: old = new = 0 but the
+        // read may return 1.
+        let mut violations = 0;
+        explore(1_000_000, |ch| {
+            let mut store = safe_bool(0);
+            let mut w = TransparentWriter::new(0, [0]);
+            let mut r = DirectReader::new(0, 1);
+            run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
+            if check_regular(0, w.history(), r.history()).is_err() {
+                violations += 1;
+            }
+        });
+        assert!(violations > 0, "expected at least one regularity violation");
+    }
+
+    #[test]
+    fn suppressed_write_performs_no_primitive_operation() {
+        let mut store = safe_bool(0);
+        let mut w = QuietWriter::new(0, 0, [0]);
+        let mut r = crate::taxonomy::FixedResolver(0);
+        store.clock += 1;
+        w.step(&mut store, &mut r);
+        assert!(w.is_done());
+        assert!(!store.regs[0].write_in_progress());
+        assert_eq!(w.history().len(), 1);
+    }
+
+    #[test]
+    fn sequential_use_reads_latest_value() {
+        let mut store = safe_bool(0);
+        let mut w = QuietWriter::new(0, 0, [1]);
+        let mut res = crate::taxonomy::FixedResolver(0);
+        while !w.is_done() {
+            store.clock += 1;
+            w.step(&mut store, &mut res);
+        }
+        let mut r = DirectReader::new(0, 1);
+        store.clock += 1;
+        r.step(&mut store, &mut res);
+        assert_eq!(r.history()[0].value, 1);
+    }
+}

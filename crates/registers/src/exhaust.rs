@@ -1,0 +1,159 @@
+//! Exhaustive enumeration of branching scenarios.
+//!
+//! Several parts of this workspace need to quantify over *all* ways a finite
+//! nondeterministic scenario can unfold: all interleavings of two register
+//! machines × all adversarial overlap resolutions, all schedules of a short
+//! protocol prefix, etc. [`Chooser`] turns such a scenario into an enumerable
+//! tree: the scenario calls [`Chooser::choose`] at every nondeterministic
+//! point, and [`explore`] replays the scenario once per leaf of the choice
+//! tree.
+//!
+//! Replay-based enumeration (rather than state cloning) keeps the scenario
+//! code completely ordinary — it is just a function `FnMut(&mut Chooser)`.
+//!
+//! # Example
+//!
+//! ```
+//! use cil_registers::exhaust::explore;
+//!
+//! // A scenario with a binary and then a ternary choice has 6 leaves.
+//! let mut outcomes = Vec::new();
+//! let leaves = explore(usize::MAX, |ch| {
+//!     let a = ch.choose(2);
+//!     let b = ch.choose(3);
+//!     outcomes.push((a, b));
+//! });
+//! assert_eq!(leaves, 6);
+//! assert_eq!(outcomes.len(), 6);
+//! ```
+
+/// A replayable source of nondeterministic choices.
+///
+/// During each replay, the first choices follow the current script; any
+/// choice beyond the script's end takes branch 0 and extends the script.
+#[derive(Debug, Default)]
+pub struct Chooser {
+    /// `(chosen, arity)` per choice point, in scenario order.
+    script: Vec<(usize, usize)>,
+    pos: usize,
+}
+
+impl Chooser {
+    /// Picks a branch in `0..arity` for the current choice point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`, or if a replay reaches this choice point with
+    /// a different arity than a previous replay did (the scenario must be a
+    /// deterministic function of its choices).
+    pub fn choose(&mut self, arity: usize) -> usize {
+        assert!(arity > 0, "cannot choose among zero branches");
+        if self.pos < self.script.len() {
+            let (chosen, recorded) = self.script[self.pos];
+            assert_eq!(
+                recorded, arity,
+                "scenario is not a deterministic function of its choices \
+                 (arity changed at point {})",
+                self.pos
+            );
+            self.pos += 1;
+            chosen
+        } else {
+            self.script.push((0, arity));
+            self.pos += 1;
+            0
+        }
+    }
+
+    /// Advances the script to the lexicographically next leaf.
+    /// Returns `false` when the tree is exhausted.
+    fn advance(&mut self) -> bool {
+        while let Some((chosen, arity)) = self.script.pop() {
+            if chosen + 1 < arity {
+                self.script.push((chosen + 1, arity));
+                return true;
+            }
+        }
+        false
+    }
+
+    fn rewind(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// Runs `scenario` once per leaf of its choice tree and returns the number of
+/// leaves explored.
+///
+/// `max_leaves` guards against accidentally unbounded trees: exploration
+/// stops (and the count so far is returned) once the bound is hit, so tests
+/// should assert the returned count is *below* their bound.
+pub fn explore<F: FnMut(&mut Chooser)>(max_leaves: usize, mut scenario: F) -> usize {
+    let mut ch = Chooser::default();
+    let mut leaves = 0;
+    loop {
+        ch.rewind();
+        scenario(&mut ch);
+        leaves += 1;
+        if leaves >= max_leaves || !ch.advance() {
+            return leaves;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_all_leaves_in_order() {
+        let mut seen = Vec::new();
+        let n = explore(usize::MAX, |ch| {
+            let a = ch.choose(2);
+            let b = ch.choose(2);
+            seen.push((a, b));
+        });
+        assert_eq!(n, 4);
+        assert_eq!(seen, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn handles_data_dependent_branching() {
+        // Left subtree has 1 leaf, right subtree has 3.
+        let mut count = 0;
+        let n = explore(usize::MAX, |ch| {
+            if ch.choose(2) == 1 {
+                ch.choose(3);
+            }
+            count += 1;
+        });
+        assert_eq!(n, 4);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn single_leaf_scenario_runs_once() {
+        let n = explore(usize::MAX, |_ch| {});
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn respects_leaf_budget() {
+        let n = explore(5, |ch| {
+            ch.choose(4);
+            ch.choose(4);
+        });
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity changed")]
+    fn nondeterministic_scenarios_are_detected() {
+        let mut flip = 2;
+        explore(usize::MAX, |ch| {
+            flip = if flip == 2 { 3 } else { 2 };
+            ch.choose(flip);
+            ch.choose(2);
+        });
+    }
+}

@@ -1,0 +1,251 @@
+//! Real-hardware register backend over [`std::sync::atomic::AtomicU64`].
+//!
+//! The paper's closing claim is that its model "is implementable in existing
+//! technology". On any modern machine a single aligned word already *is* an
+//! atomic multi-reader multi-writer register — strictly stronger than the
+//! bounded 1W1R registers the protocols need. Every register used by the
+//! paper's protocols packs into one `u64` (see [`Packable`]), so
+//! [`HwRegisterFile`] can host any workspace protocol on real OS threads
+//! (driven by `cil-sim`'s thread executor).
+//!
+//! Note the deliberate restriction: the API exposes **only** `load` and
+//! `store` — no compare-and-swap, no fetch-and-add — because the paper's
+//! model has atomic reads and writes but *no test-and-set*.
+
+use crate::access::{AccessError, Pid, RegId, RegisterSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values that fit into one machine word, so they can live in a real
+/// hardware register cell.
+///
+/// Implementations must round-trip: `Self::unpack(v.pack()) == v`.
+pub trait Packable: Sized + Clone {
+    /// Encodes the value into a word.
+    fn pack(&self) -> u64;
+    /// Decodes a word produced by [`pack`](Packable::pack).
+    fn unpack(word: u64) -> Self;
+}
+
+impl Packable for u64 {
+    fn pack(&self) -> u64 {
+        *self
+    }
+    fn unpack(word: u64) -> Self {
+        word
+    }
+}
+
+impl Packable for bool {
+    fn pack(&self) -> u64 {
+        u64::from(*self)
+    }
+    fn unpack(word: u64) -> Self {
+        word != 0
+    }
+}
+
+impl<T: Packable> Packable for Option<T> {
+    /// Packs `None` as 0 and `Some(v)` as `v.pack() + 1`; inner packings must
+    /// therefore stay below `u64::MAX`.
+    fn pack(&self) -> u64 {
+        match self {
+            None => 0,
+            Some(v) => v
+                .pack()
+                .checked_add(1)
+                .expect("inner packing must leave headroom for Option"),
+        }
+    }
+    fn unpack(word: u64) -> Self {
+        if word == 0 {
+            None
+        } else {
+            Some(T::unpack(word - 1))
+        }
+    }
+}
+
+/// One hardware register cell: an atomic word with plain load/store.
+#[derive(Debug, Default)]
+pub struct HwCell(AtomicU64);
+
+impl HwCell {
+    /// Creates a cell holding `init`.
+    pub fn new(init: u64) -> Self {
+        HwCell(AtomicU64::new(init))
+    }
+
+    /// Atomic load (sequentially consistent, the strongest real-hardware
+    /// analogue of the paper's global-time atomicity).
+    pub fn load(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Atomic store.
+    pub fn store(&self, value: u64) {
+        self.0.store(value, Ordering::SeqCst);
+    }
+}
+
+/// A bank of hardware register cells with the same access discipline as
+/// [`crate::SharedMemory`], shareable across threads (`&HwRegisterFile` is
+/// all a thread needs).
+#[derive(Debug)]
+pub struct HwRegisterFile<V: Packable> {
+    specs: Vec<RegisterSpec<V>>,
+    cells: Vec<HwCell>,
+}
+
+impl<V: Packable> HwRegisterFile<V> {
+    /// Builds the file from register descriptions, packing each initial
+    /// value into its cell.
+    ///
+    /// # Errors
+    ///
+    /// [`AccessError::BadSpec`] under the same conditions as
+    /// [`crate::SharedMemory::new`].
+    pub fn new(specs: Vec<RegisterSpec<V>>) -> Result<Self, AccessError> {
+        for (i, s) in specs.iter().enumerate() {
+            if s.id.0 != i {
+                return Err(AccessError::BadSpec(format!(
+                    "register '{}' has id {} but index {i}",
+                    s.name, s.id
+                )));
+            }
+        }
+        let cells = specs.iter().map(|s| HwCell::new(s.init.pack())).collect();
+        Ok(HwRegisterFile { specs, cells })
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the file has no registers.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Atomically reads `reg` on behalf of `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Same access errors as [`crate::SharedMemory::read`].
+    pub fn read(&self, pid: Pid, reg: RegId) -> Result<V, AccessError> {
+        let spec = self
+            .specs
+            .get(reg.0)
+            .ok_or(AccessError::UnknownRegister(reg))?;
+        if !spec.readers.allows(pid) {
+            return Err(AccessError::NotReader { pid, reg });
+        }
+        Ok(V::unpack(self.cells[reg.0].load()))
+    }
+
+    /// Atomically writes `value` into `reg` on behalf of `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Same access errors as [`crate::SharedMemory::write`].
+    pub fn write(&self, pid: Pid, reg: RegId, value: &V) -> Result<(), AccessError> {
+        let spec = self
+            .specs
+            .get(reg.0)
+            .ok_or(AccessError::UnknownRegister(reg))?;
+        if spec.writer != pid {
+            return Err(AccessError::NotWriter {
+                pid,
+                reg,
+                owner: spec.writer,
+            });
+        }
+        self.cells[reg.0].store(value.pack());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::ReaderSet;
+    use crate::linearize::{is_linearizable, HistOp};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn packable_round_trips() {
+        assert_eq!(u64::unpack(17u64.pack()), 17);
+        assert!(bool::unpack(true.pack()));
+        assert_eq!(Option::<u64>::unpack(None::<u64>.pack()), None);
+        assert_eq!(Option::<u64>::unpack(Some(3u64).pack()), Some(3));
+        assert_eq!(Option::<bool>::unpack(Some(false).pack()), Some(false));
+    }
+
+    #[test]
+    fn cell_load_store() {
+        let c = HwCell::new(3);
+        assert_eq!(c.load(), 3);
+        c.store(9);
+        assert_eq!(c.load(), 9);
+    }
+
+    fn file_1w1r() -> HwRegisterFile<Option<u64>> {
+        HwRegisterFile::new(vec![
+            RegisterSpec::new(RegId(0), "r0", Pid(0), ReaderSet::only([Pid(1)]), None),
+            RegisterSpec::new(RegId(1), "r1", Pid(1), ReaderSet::only([Pid(0)]), None),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn file_enforces_access_control() {
+        let f = file_1w1r();
+        assert!(f.write(Pid(0), RegId(0), &Some(1)).is_ok());
+        assert!(f.write(Pid(1), RegId(0), &Some(1)).is_err());
+        assert_eq!(f.read(Pid(1), RegId(0)).unwrap(), Some(1));
+        assert!(f.read(Pid(0), RegId(0)).is_err());
+    }
+
+    #[test]
+    fn concurrent_history_on_real_threads_is_linearizable() {
+        // One writer thread, one reader thread, coarse global timestamps.
+        // SeqCst loads/stores must produce a linearizable history.
+        let file = HwRegisterFile::<u64>::new(vec![RegisterSpec::new(
+            RegId(0),
+            "r",
+            Pid(0),
+            ReaderSet::All,
+            0u64,
+        )])
+        .unwrap();
+        let clock = AtomicU64::new(1);
+        let history = Mutex::new(Vec::<HistOp>::new());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for v in 1..=20u64 {
+                    let t0 = clock.fetch_add(1, Ordering::SeqCst);
+                    file.write(Pid(0), RegId(0), &v).unwrap();
+                    let t1 = clock.fetch_add(1, Ordering::SeqCst);
+                    history
+                        .lock()
+                        .unwrap()
+                        .push(HistOp::write(t0, t1, v as usize));
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..20 {
+                    let t0 = clock.fetch_add(1, Ordering::SeqCst);
+                    let v = file.read(Pid(1), RegId(0)).unwrap();
+                    let t1 = clock.fetch_add(1, Ordering::SeqCst);
+                    history
+                        .lock()
+                        .unwrap()
+                        .push(HistOp::read(t0, t1, v as usize));
+                }
+            });
+        });
+        let h = history.into_inner().unwrap();
+        assert!(is_linearizable(0, &h), "hardware history not linearizable");
+    }
+}

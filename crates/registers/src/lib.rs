@@ -1,0 +1,68 @@
+//! Shared-register substrate for the Chor–Israeli–Li (PODC 1987) reproduction.
+//!
+//! The paper's communication medium is a collection of shared registers that
+//! are **atomic with respect to single read and write operations** — no
+//! test-and-set, no read-modify-write. All protocols in the paper use the
+//! most restricted register class: bounded-size, single-writer registers.
+//! This crate provides every register-level building block the rest of the
+//! workspace needs:
+//!
+//! * [`access`] — the serialized shared-memory model used by the simulator:
+//!   registers with declared writer/reader sets ([`RegisterSpec`]) and a
+//!   [`SharedMemory`] that enforces those sets at runtime. This is the §2
+//!   model of the paper made executable: because every execution of an
+//!   atomic-register system is serializable, the memory applies one operation
+//!   at a time and the interesting nondeterminism lives entirely in the
+//!   scheduler (see `cil-sim`).
+//! * [`taxonomy`] — Lamport's register taxonomy (*safe*, *regular*, *atomic*)
+//!   with writes modelled as **intervals**: a read overlapping a write is
+//!   resolved adversarially according to the register class. This is the
+//!   low-level hardware the paper's footnote appeals to ("these registers can
+//!   be implemented from existing low level hardware", citing Lamport).
+//! * [`construct`] — the classical register constructions that justify that
+//!   appeal, implemented as explicitly-steppable machines so tests can
+//!   enumerate *all* interleavings: regular-from-safe booleans, multivalued
+//!   regular from boolean regular, and atomic 1W1R from regular via sequence
+//!   numbers.
+//! * [`hw`] — a real-hardware backend ([`HwCell`]) over
+//!   [`std::sync::atomic::AtomicU64`], demonstrating the paper's claim that
+//!   the model "is implementable in existing technology": every register used
+//!   by the paper's protocols packs into one machine word.
+//! * [`linearize`] — a linearizability checker for single-register read/write
+//!   histories, used to validate the constructions and the hardware backend.
+//! * [`tas`] — the test-and-set primitive the paper's model *excludes*, with
+//!   the trivial deterministic consensus it enables: the sharpness boundary
+//!   of the paper's Theorem 4.
+//!
+//! # Example
+//!
+//! ```
+//! use cil_registers::{RegisterSpec, SharedMemory, Pid, RegId, ReaderSet};
+//!
+//! // Two single-writer single-reader registers, as in the paper's
+//! // two-processor protocol: P0 writes r0 / reads r1, and vice versa.
+//! let specs = vec![
+//!     RegisterSpec::new(RegId(0), "r0", Pid(0), ReaderSet::only([Pid(1)]), 0u8),
+//!     RegisterSpec::new(RegId(1), "r1", Pid(1), ReaderSet::only([Pid(0)]), 0u8),
+//! ];
+//! let mut mem = SharedMemory::new(specs)?;
+//! mem.write(Pid(0), RegId(0), 7)?;
+//! assert_eq!(*mem.read(Pid(1), RegId(0))?, 7);
+//! // Access control is enforced: P0 may not read its own register's pair.
+//! assert!(mem.read(Pid(1), RegId(1)).is_err());
+//! # Ok::<(), cil_registers::AccessError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod construct;
+pub mod exhaust;
+pub mod hw;
+pub mod linearize;
+pub mod tas;
+pub mod taxonomy;
+
+pub use access::{AccessError, Pid, ReaderSet, RegId, RegisterSpec, SharedMemory};
+pub use hw::{HwCell, HwRegisterFile, Packable};

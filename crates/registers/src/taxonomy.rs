@@ -1,0 +1,359 @@
+//! Lamport's register taxonomy with adversarially-resolved overlap.
+//!
+//! The paper's footnote on implementability appeals to Lamport's
+//! *On Interprocess Communication* (the paper's reference 5): bounded
+//! single-writer single-reader **atomic** registers can be built from weaker
+//! hardware. The hierarchy is:
+//!
+//! * **safe** — a read that overlaps no write returns the current value; a
+//!   read overlapping a write may return *any* value of the register's
+//!   domain;
+//! * **regular** — a read overlapping a write returns either the old or the
+//!   new value;
+//! * **atomic** — all reads and writes are serializable: reads behave as if
+//!   each operation occurred at a single instant inside its interval. For a
+//!   single reader this is regularity plus *no new-old inversion*: once a
+//!   read has returned the new value, no later read returns the old one.
+//!
+//! [`IntervalRegister`] models writes as explicit intervals
+//! ([`begin_write`](IntervalRegister::begin_write) …
+//! [`end_write`](IntervalRegister::end_write)) and resolves every overlapping
+//! read through a caller-supplied [`Resolver`] — the adversary. The
+//! constructions in [`crate::construct`] are verified by enumerating every
+//! interleaving *and* every adversarial resolution.
+
+use std::error::Error;
+use std::fmt;
+
+/// The three register classes of Lamport's hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// Overlapping reads may return anything in the domain.
+    Safe,
+    /// Overlapping reads return the old or the new value.
+    Regular,
+    /// Operations are serializable (regular + no new-old inversion).
+    Atomic,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegClass::Safe => "safe",
+            RegClass::Regular => "regular",
+            RegClass::Atomic => "atomic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors from misuse of the interval-write protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaxonomyError {
+    /// `begin_write` while a write is already in flight (single writer!).
+    WriteInProgress,
+    /// `end_write` without a matching `begin_write`.
+    NoWriteInProgress,
+    /// The resolver picked an index outside the admissible set.
+    BadResolution {
+        /// Index chosen by the resolver.
+        chosen: usize,
+        /// Size of the admissible set.
+        admissible: usize,
+    },
+}
+
+impl fmt::Display for TaxonomyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaxonomyError::WriteInProgress => f.write_str("a write is already in progress"),
+            TaxonomyError::NoWriteInProgress => f.write_str("no write is in progress"),
+            TaxonomyError::BadResolution { chosen, admissible } => write!(
+                f,
+                "resolver chose index {chosen} out of {admissible} admissible values"
+            ),
+        }
+    }
+}
+
+impl Error for TaxonomyError {}
+
+/// The adversary's hook: given the admissible return values of an overlapping
+/// read, pick one (by index).
+///
+/// Implementations range from "always old" to exhaustive enumeration in the
+/// construction tests.
+pub trait Resolver {
+    /// Chooses an index into `admissible`.
+    fn resolve(&mut self, admissible: &[usize]) -> usize;
+}
+
+/// A resolver that always picks a fixed position in the admissible list
+/// (clamped), e.g. position 0 = "first admissible value".
+#[derive(Debug, Clone, Copy)]
+pub struct FixedResolver(pub usize);
+
+impl Resolver for FixedResolver {
+    fn resolve(&mut self, admissible: &[usize]) -> usize {
+        admissible[self.0.min(admissible.len() - 1)]
+    }
+}
+
+/// A resolver replaying a scripted list of choices (used by the exhaustive
+/// interleaving driver); falls back to the first admissible value when the
+/// script is exhausted.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptResolver {
+    script: Vec<usize>,
+    next: usize,
+    /// Number of resolution points actually consulted.
+    pub consulted: usize,
+    /// Arity (admissible-set size) at each consulted point.
+    pub arities: Vec<usize>,
+}
+
+impl ScriptResolver {
+    /// Creates a resolver that plays back `script`.
+    pub fn new(script: Vec<usize>) -> Self {
+        ScriptResolver {
+            script,
+            next: 0,
+            consulted: 0,
+            arities: Vec::new(),
+        }
+    }
+}
+
+impl Resolver for ScriptResolver {
+    fn resolve(&mut self, admissible: &[usize]) -> usize {
+        self.consulted += 1;
+        self.arities.push(admissible.len());
+        let pick = self
+            .script
+            .get(self.next)
+            .copied()
+            .unwrap_or(0)
+            .min(admissible.len() - 1);
+        self.next += 1;
+        admissible[pick]
+    }
+}
+
+/// A single-writer register whose writes occupy an interval, with overlap
+/// behaviour determined by its [`RegClass`].
+///
+/// The value domain is `0..domain_size` (values are `usize` indices; wrap
+/// richer types outside). This keeps the safe-register semantics ("may return
+/// any value the register can hold") finitely enumerable.
+#[derive(Debug, Clone)]
+pub struct IntervalRegister {
+    class: RegClass,
+    domain_size: usize,
+    stable: usize,
+    pending: Option<usize>,
+    /// Atomic registers: set once an overlapping read returned the pending
+    /// (new) value; later reads must keep returning it.
+    pending_seen: bool,
+}
+
+impl IntervalRegister {
+    /// Creates a register of the given class holding `init`, with values
+    /// ranging over `0..domain_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init >= domain_size` or `domain_size == 0`.
+    pub fn new(class: RegClass, domain_size: usize, init: usize) -> Self {
+        assert!(domain_size > 0, "domain must be non-empty");
+        assert!(init < domain_size, "initial value outside domain");
+        IntervalRegister {
+            class,
+            domain_size,
+            stable: init,
+            pending: None,
+            pending_seen: false,
+        }
+    }
+
+    /// The register's class.
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// Whether a write is currently in flight.
+    pub fn write_in_progress(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// The value a non-overlapping read would return right now.
+    pub fn stable_value(&self) -> usize {
+        self.stable
+    }
+
+    /// Starts a write of `value`.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxonomyError::WriteInProgress`] if a write is already in flight —
+    /// these are single-writer registers and the writer is sequential.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain.
+    pub fn begin_write(&mut self, value: usize) -> Result<(), TaxonomyError> {
+        assert!(value < self.domain_size, "written value outside domain");
+        if self.pending.is_some() {
+            return Err(TaxonomyError::WriteInProgress);
+        }
+        self.pending = Some(value);
+        self.pending_seen = false;
+        Ok(())
+    }
+
+    /// Completes the in-flight write.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxonomyError::NoWriteInProgress`] if none is in flight.
+    pub fn end_write(&mut self) -> Result<(), TaxonomyError> {
+        match self.pending.take() {
+            Some(v) => {
+                self.stable = v;
+                self.pending_seen = false;
+                Ok(())
+            }
+            None => Err(TaxonomyError::NoWriteInProgress),
+        }
+    }
+
+    /// The set of values a read starting now may return, per the class rules.
+    pub fn admissible_reads(&self) -> Vec<usize> {
+        match self.pending {
+            None => vec![self.stable],
+            Some(new) => match self.class {
+                RegClass::Safe => (0..self.domain_size).collect(),
+                RegClass::Regular => {
+                    if new == self.stable {
+                        vec![self.stable]
+                    } else {
+                        vec![self.stable, new]
+                    }
+                }
+                RegClass::Atomic => {
+                    if self.pending_seen || new == self.stable {
+                        vec![new]
+                    } else {
+                        vec![self.stable, new]
+                    }
+                }
+            },
+        }
+    }
+
+    /// Performs a read, letting `resolver` pick among the admissible values.
+    pub fn read(&mut self, resolver: &mut dyn Resolver) -> usize {
+        let admissible = self.admissible_reads();
+        if admissible.len() == 1 {
+            return admissible[0];
+        }
+        let v = resolver.resolve(&admissible);
+        debug_assert!(admissible.contains(&v), "resolver returned a raw value");
+        if self.class == RegClass::Atomic {
+            if let Some(new) = self.pending {
+                if v == new {
+                    self.pending_seen = true;
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiescent_reads_return_stable_value() {
+        let mut r = IntervalRegister::new(RegClass::Safe, 4, 2);
+        let mut res = FixedResolver(0);
+        assert_eq!(r.read(&mut res), 2);
+    }
+
+    #[test]
+    fn safe_overlapping_read_admits_whole_domain() {
+        let mut r = IntervalRegister::new(RegClass::Safe, 4, 0);
+        r.begin_write(3).unwrap();
+        assert_eq!(r.admissible_reads(), vec![0, 1, 2, 3]);
+        r.end_write().unwrap();
+        assert_eq!(r.admissible_reads(), vec![3]);
+    }
+
+    #[test]
+    fn regular_overlapping_read_admits_old_or_new() {
+        let mut r = IntervalRegister::new(RegClass::Regular, 4, 1);
+        r.begin_write(3).unwrap();
+        assert_eq!(r.admissible_reads(), vec![1, 3]);
+    }
+
+    #[test]
+    fn regular_rewrite_of_same_value_is_stable() {
+        let mut r = IntervalRegister::new(RegClass::Regular, 2, 1);
+        r.begin_write(1).unwrap();
+        assert_eq!(r.admissible_reads(), vec![1]);
+    }
+
+    #[test]
+    fn atomic_forbids_new_old_inversion() {
+        let mut r = IntervalRegister::new(RegClass::Atomic, 2, 0);
+        r.begin_write(1).unwrap();
+        // Adversary forces the first overlapping read to see the new value.
+        let mut pick_new = FixedResolver(1);
+        assert_eq!(r.read(&mut pick_new), 1);
+        // From now on, only the new value is admissible.
+        assert_eq!(r.admissible_reads(), vec![1]);
+        let mut pick_old = FixedResolver(0);
+        assert_eq!(r.read(&mut pick_old), 1);
+    }
+
+    #[test]
+    fn atomic_read_may_still_return_old_before_linearization() {
+        let mut r = IntervalRegister::new(RegClass::Atomic, 2, 0);
+        r.begin_write(1).unwrap();
+        let mut pick_old = FixedResolver(0);
+        assert_eq!(r.read(&mut pick_old), 0);
+        // Old remains admissible until some read observes the new value.
+        assert_eq!(r.admissible_reads(), vec![0, 1]);
+    }
+
+    #[test]
+    fn double_begin_write_is_rejected() {
+        let mut r = IntervalRegister::new(RegClass::Regular, 2, 0);
+        r.begin_write(1).unwrap();
+        assert_eq!(r.begin_write(0), Err(TaxonomyError::WriteInProgress));
+    }
+
+    #[test]
+    fn end_without_begin_is_rejected() {
+        let mut r = IntervalRegister::new(RegClass::Regular, 2, 0);
+        assert_eq!(r.end_write(), Err(TaxonomyError::NoWriteInProgress));
+    }
+
+    #[test]
+    fn end_write_installs_new_value() {
+        let mut r = IntervalRegister::new(RegClass::Safe, 3, 0);
+        r.begin_write(2).unwrap();
+        r.end_write().unwrap();
+        assert_eq!(r.stable_value(), 2);
+    }
+
+    #[test]
+    fn script_resolver_records_consultations() {
+        let mut r = IntervalRegister::new(RegClass::Safe, 3, 0);
+        r.begin_write(2).unwrap();
+        let mut res = ScriptResolver::new(vec![1]);
+        assert_eq!(r.read(&mut res), 1);
+        assert_eq!(res.consulted, 1);
+        assert_eq!(res.arities, vec![3]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the register taxonomy and linearizability
+//! checker against their defining invariants.
+
+use cil_registers::linearize::{is_linearizable, HistOp};
+use cil_registers::taxonomy::{FixedResolver, IntervalRegister, RegClass, Resolver};
+use proptest::prelude::*;
+
+/// A random single-writer usage script for one register.
+#[derive(Debug, Clone)]
+enum Step {
+    BeginWrite(usize),
+    EndWrite,
+    Read(usize), // resolver preference index
+}
+
+fn step_strategy(domain: usize) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..domain).prop_map(Step::BeginWrite),
+        Just(Step::EndWrite),
+        (0..domain).prop_map(Step::Read),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn admissible_reads_always_include_a_truth(
+        class in prop_oneof![
+            Just(RegClass::Safe),
+            Just(RegClass::Regular),
+            Just(RegClass::Atomic)
+        ],
+        init in 0usize..4,
+        steps in prop::collection::vec(step_strategy(4), 0..40),
+    ) {
+        let mut reg = IntervalRegister::new(class, 4, init);
+        let mut pending: Option<usize> = None;
+        for s in steps {
+            match s {
+                Step::BeginWrite(v) => {
+                    if pending.is_none() {
+                        reg.begin_write(v).unwrap();
+                        pending = Some(v);
+                    }
+                }
+                Step::EndWrite => {
+                    if pending.take().is_some() {
+                        reg.end_write().unwrap();
+                    }
+                }
+                Step::Read(pref) => {
+                    let admissible = reg.admissible_reads();
+                    // Invariant: the stable value or the pending value is
+                    // always admissible; the set is never empty; and for
+                    // regular/atomic it only contains old/new.
+                    prop_assert!(!admissible.is_empty());
+                    let stable = reg.stable_value();
+                    prop_assert!(
+                        admissible.contains(&stable) || pending.is_some_and(|p| admissible.contains(&p))
+                    );
+                    if class != RegClass::Safe {
+                        for &v in &admissible {
+                            prop_assert!(v == stable || pending == Some(v));
+                        }
+                    }
+                    let got = reg.read(&mut FixedResolver(pref));
+                    prop_assert!(admissible.contains(&got));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_reads_never_invert(
+        init in 0usize..2,
+        v in 0usize..2,
+        picks in prop::collection::vec(0usize..2, 1..12),
+    ) {
+        // One write interval; a sequence of overlapping reads with
+        // arbitrary resolver choices must be monotone old→new.
+        let mut reg = IntervalRegister::new(RegClass::Atomic, 2, init);
+        reg.begin_write(v).unwrap();
+        let mut seen_new = false;
+        for pick in picks {
+            let got = reg.read(&mut FixedResolver(pick));
+            if got == v && v != init {
+                seen_new = true;
+            }
+            if seen_new {
+                prop_assert_eq!(got, v, "new-old inversion");
+            }
+        }
+    }
+
+    #[test]
+    fn linearizable_histories_survive_interval_widening(
+        writes in prop::collection::vec(0usize..4, 1..6),
+    ) {
+        // A sequential write/read history is linearizable; widening every
+        // interval (more overlap) can only keep it linearizable.
+        let mut h = Vec::new();
+        let mut t = 0u64;
+        for &w in &writes {
+            h.push(HistOp::write(t, t + 1, w));
+            h.push(HistOp::read(t + 2, t + 3, w));
+            t += 4;
+        }
+        prop_assert!(is_linearizable(0, &h));
+        let widened: Vec<HistOp> = h
+            .iter()
+            .map(|op| HistOp {
+                invoke: op.invoke.saturating_sub(1),
+                respond: op.respond + 1,
+                ..*op
+            })
+            .collect();
+        prop_assert!(is_linearizable(0, &widened));
+    }
+
+    #[test]
+    fn linearizability_is_preserved_under_time_shift(
+        shift in 1u64..1000,
+        vals in prop::collection::vec(0usize..3, 1..5),
+    ) {
+        let mut h = Vec::new();
+        let mut t = 0u64;
+        for &v in &vals {
+            h.push(HistOp::write(t, t + 1, v));
+            t += 2;
+        }
+        h.push(HistOp::read(t, t + 1, *vals.last().unwrap()));
+        let shifted: Vec<HistOp> = h
+            .iter()
+            .map(|op| HistOp {
+                invoke: op.invoke + shift,
+                respond: op.respond + shift,
+                ..*op
+            })
+            .collect();
+        prop_assert_eq!(is_linearizable(0, &h), is_linearizable(0, &shifted));
+    }
+}
+
+#[test]
+fn resolver_trait_objects_work() {
+    struct AlwaysLast;
+    impl Resolver for AlwaysLast {
+        fn resolve(&mut self, admissible: &[usize]) -> usize {
+            *admissible.last().unwrap()
+        }
+    }
+    let mut reg = IntervalRegister::new(RegClass::Regular, 3, 0);
+    reg.begin_write(2).unwrap();
+    assert_eq!(reg.read(&mut AlwaysLast), 2);
+}

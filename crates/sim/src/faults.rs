@@ -1,0 +1,85 @@
+//! Fail-stop fault injection.
+//!
+//! The paper's fault model: "we account to fail/stop type errors of up to
+//! all but one of the system processors" — no Byzantine behaviour. A crash
+//! is modelled exactly as the adversary never scheduling the processor
+//! again; [`CrashPlan`] lets experiments pin crashes to adversarially chosen
+//! global step numbers (e.g. "right after its initial write").
+
+use std::collections::BTreeMap;
+
+/// A schedule of crashes: processor → global step at which it crashes.
+///
+/// A processor crashed at step `t` takes no step at time `t` or later.
+#[derive(Debug, Clone, Default)]
+pub struct CrashPlan {
+    by_step: BTreeMap<u64, Vec<usize>>,
+    count: usize,
+}
+
+impl CrashPlan {
+    /// No crashes.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a crash of `pid` at global step `step`.
+    pub fn crash(mut self, pid: usize, step: u64) -> Self {
+        self.by_step.entry(step).or_default().push(pid);
+        self.count += 1;
+        self
+    }
+
+    /// Total number of planned crashes.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Processors that crash at or before `step` and have not been reported
+    /// by an earlier call (the executor calls this with increasing `step`).
+    pub fn due(&mut self, step: u64) -> Vec<usize> {
+        let mut due = Vec::new();
+        let keys: Vec<u64> = self.by_step.range(..=step).map(|(&k, _)| k).collect();
+        for k in keys {
+            if let Some(pids) = self.by_step.remove(&k) {
+                due.extend(pids);
+            }
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_has_nothing_due() {
+        let mut p = CrashPlan::none();
+        assert!(p.is_empty());
+        assert!(p.due(1_000).is_empty());
+    }
+
+    #[test]
+    fn crashes_fire_once_at_their_step() {
+        let mut p = CrashPlan::none().crash(1, 5).crash(2, 5).crash(0, 9);
+        assert_eq!(p.len(), 3);
+        assert!(p.due(4).is_empty());
+        let at5 = p.due(5);
+        assert_eq!(at5, vec![1, 2]);
+        assert!(p.due(8).is_empty());
+        assert_eq!(p.due(100), vec![0]);
+        assert!(p.due(200).is_empty());
+    }
+
+    #[test]
+    fn skipped_steps_still_deliver_past_crashes() {
+        let mut p = CrashPlan::none().crash(3, 2);
+        assert_eq!(p.due(50), vec![3]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Real-thread execution over hardware atomic registers.
+//!
+//! The simulator's serialized executor is faithful to the paper's model, but
+//! the paper's punchline is that the model "is implementable in existing
+//! technology". [`run_on_threads`] demonstrates it: each processor becomes an
+//! OS thread, each shared register one `AtomicU64` cell
+//! ([`cil_registers::HwRegisterFile`]), and the *operating system* plays the
+//! adversary scheduler. Coin flips come from per-thread forks of the
+//! deterministic generator (per-run results are still randomized because the
+//! OS interleaving is).
+//!
+//! The protocols never busy-wait on other processors (wait-freedom), so no
+//! thread can be blocked by another — every thread either decides or
+//! exhausts its own step budget.
+
+use crate::protocol::{Op, Protocol, Val};
+use crate::rng::{Rng, Xoshiro256StarStar};
+use cil_registers::{HwRegisterFile, Packable, Pid};
+
+/// Outcome of a real-thread run.
+#[derive(Debug, Clone)]
+pub struct ThreadOutcome {
+    /// Decision of each processor (`None` = step budget exhausted).
+    pub decisions: Vec<Option<Val>>,
+    /// Steps (register operations) each thread performed.
+    pub steps: Vec<u64>,
+}
+
+impl ThreadOutcome {
+    /// Whether all threads decided on a single common value.
+    pub fn agreed(&self) -> Option<Val> {
+        let first = self.decisions.first().copied().flatten()?;
+        self.decisions
+            .iter()
+            .all(|d| *d == Some(first))
+            .then_some(first)
+    }
+}
+
+/// Runs `protocol` with the given inputs on real OS threads.
+///
+/// `max_steps_per_thread` bounds each thread's work (the randomized
+/// protocols decide in expected O(1) steps, so budgets in the thousands are
+/// already astronomically safe).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != protocol.processes()` or if the protocol
+/// violates its declared register access structure.
+pub fn run_on_threads<P>(
+    protocol: &P,
+    inputs: &[Val],
+    seed: u64,
+    max_steps_per_thread: u64,
+) -> ThreadOutcome
+where
+    P: Protocol + Sync,
+    P::Reg: Packable + Send + Sync,
+{
+    assert_eq!(
+        inputs.len(),
+        protocol.processes(),
+        "one input per processor"
+    );
+    let n = protocol.processes();
+    let file = HwRegisterFile::new(protocol.registers()).expect("valid register specs");
+    let mut seeder = Xoshiro256StarStar::new(seed);
+    let seeds: Vec<u64> = (0..n).map(|_| seeder.next_u64()).collect();
+
+    let mut decisions = vec![None; n];
+    let mut steps = vec![0u64; n];
+    std::thread::scope(|scope| {
+        let file = &file;
+        let handles: Vec<_> = (0..n)
+            .map(|pid| {
+                let input = inputs[pid];
+                let thread_seed = seeds[pid];
+                scope.spawn(move || {
+                    let mut rng = Xoshiro256StarStar::new(thread_seed);
+                    let mut state = protocol.init(pid, input);
+                    let mut taken = 0u64;
+                    while protocol.decision(&state).is_none() && taken < max_steps_per_thread {
+                        let op = protocol.choose(pid, &state).sample(&mut rng).clone();
+                        let read = match &op {
+                            Op::Read(r) => {
+                                Some(file.read(Pid(pid), *r).expect("read in reader set"))
+                            }
+                            Op::Write(r, v) => {
+                                file.write(Pid(pid), *r, v).expect("write own register");
+                                None
+                            }
+                        };
+                        state = protocol
+                            .transit(pid, &state, &op, read.as_ref())
+                            .sample(&mut rng)
+                            .clone();
+                        taken += 1;
+                    }
+                    (protocol.decision(&state), taken)
+                })
+            })
+            .collect();
+        for (pid, h) in handles.into_iter().enumerate() {
+            let (d, t) = h.join().expect("protocol thread panicked");
+            decisions[pid] = d;
+            steps[pid] = t;
+        }
+    });
+    ThreadOutcome { decisions, steps }
+}

@@ -1,0 +1,187 @@
+//! Execution traces: the serialized run record.
+//!
+//! A run of length ℓ in the paper is a sequence of ℓ steps; its *schedule*
+//! is the sequence of processor numbers taking those steps. [`Trace`] records
+//! both, plus the operation each step performed and (for reads) the value
+//! observed — enough to replay the run exactly or pretty-print it for
+//! debugging.
+
+use crate::protocol::Op;
+use std::fmt;
+
+/// One recorded step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event<R> {
+    /// Global step index (0-based).
+    pub index: u64,
+    /// Processor that took the step.
+    pub pid: usize,
+    /// The operation performed.
+    pub op: Op<R>,
+    /// The value returned, for read operations.
+    pub read: Option<R>,
+}
+
+/// A recorded run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace<R> {
+    events: Vec<Event<R>>,
+}
+
+impl<R> Trace<R> {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event<R>) {
+        self.events.push(event);
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[Event<R>] {
+        &self.events
+    }
+
+    /// Number of steps recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The schedule of the run: the ordered list of processor numbers, as in
+    /// the paper's `(2,3,3,2,1)` notation.
+    pub fn schedule(&self) -> Vec<usize> {
+        self.events.iter().map(|e| e.pid).collect()
+    }
+
+    /// Steps taken by one processor.
+    pub fn steps_of(&self, pid: usize) -> usize {
+        self.events.iter().filter(|e| e.pid == pid).count()
+    }
+}
+
+impl<R: fmt::Debug> fmt::Display for Trace<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            match (&e.op, &e.read) {
+                (Op::Read(r), Some(v)) => {
+                    writeln!(f, "{:>5}  P{} read  {} -> {:?}", e.index, e.pid, r, v)?
+                }
+                (Op::Read(r), None) => writeln!(f, "{:>5}  P{} read  {}", e.index, e.pid, r)?,
+                (Op::Write(r, v), _) => {
+                    writeln!(f, "{:>5}  P{} write {} <- {:?}", e.index, e.pid, r, v)?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses the paper's schedule notation, e.g. `"(2,3,3,2,1)"` or
+/// `"2 3 3 2 1"`, into a processor list. **One-based** processor numbers as
+/// in the paper are converted to this crate's zero-based processor ids when
+/// `one_based` is set.
+///
+/// # Errors
+///
+/// Returns a message naming the offending token if anything fails to parse,
+/// or if a one-based schedule contains a `0`.
+///
+/// ```
+/// use cil_sim::trace::parse_schedule;
+/// // The paper's example schedule (2,3,3,2,1), processors P1..P3.
+/// assert_eq!(parse_schedule("(2,3,3,2,1)", true).unwrap(), vec![1, 2, 2, 1, 0]);
+/// assert_eq!(parse_schedule("0 1 1", false).unwrap(), vec![0, 1, 1]);
+/// ```
+pub fn parse_schedule(text: &str, one_based: bool) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for token in text
+        .split(|c: char| c == ',' || c.is_whitespace() || c == '(' || c == ')')
+        .filter(|t| !t.is_empty())
+    {
+        let n: usize = token
+            .parse()
+            .map_err(|_| format!("bad schedule token '{token}'"))?;
+        if one_based {
+            if n == 0 {
+                return Err("one-based schedules cannot contain 0".into());
+            }
+            out.push(n - 1);
+        } else {
+            out.push(n);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cil_registers::RegId;
+
+    fn sample_trace() -> Trace<u8> {
+        let mut t = Trace::new();
+        t.push(Event {
+            index: 0,
+            pid: 1,
+            op: Op::Write(RegId(1), 7),
+            read: None,
+        });
+        t.push(Event {
+            index: 1,
+            pid: 0,
+            op: Op::Read(RegId(1)),
+            read: Some(7),
+        });
+        t.push(Event {
+            index: 2,
+            pid: 1,
+            op: Op::Read(RegId(0)),
+            read: Some(0),
+        });
+        t
+    }
+
+    #[test]
+    fn schedule_lists_pids_in_order() {
+        assert_eq!(sample_trace().schedule(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn steps_of_counts_per_processor() {
+        let t = sample_trace();
+        assert_eq!(t.steps_of(0), 1);
+        assert_eq!(t.steps_of(1), 2);
+        assert_eq!(t.steps_of(9), 0);
+    }
+
+    #[test]
+    fn display_renders_reads_and_writes() {
+        let s = sample_trace().to_string();
+        assert!(s.contains("P1 write r1 <- 7"), "{s}");
+        assert!(s.contains("P0 read  r1 -> 7"), "{s}");
+    }
+
+    #[test]
+    fn parse_schedule_accepts_paper_notation() {
+        assert_eq!(
+            parse_schedule("(2,3,3,2,1)", true).unwrap(),
+            vec![1, 2, 2, 1, 0]
+        );
+        assert_eq!(parse_schedule("  1, 1 ,2 ", true).unwrap(), vec![0, 0, 1]);
+        assert_eq!(parse_schedule("0 2 1", false).unwrap(), vec![0, 2, 1]);
+        assert_eq!(parse_schedule("", false).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn parse_schedule_rejects_garbage() {
+        assert!(parse_schedule("(1,x)", true).is_err());
+        assert!(parse_schedule("0", true).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the simulator's core data structures: sampling
+//! distributions, schedule parsing, fairness metrics, and executor
+//! determinism.
+
+use cil_sim::{
+    is_k_fair, parse_schedule, starvation_gaps, Choice, Rng, SplitMix64, Xoshiro256StarStar,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn weighted_sampling_matches_weights(
+        w1 in 1u32..20,
+        w2 in 1u32..20,
+        w3 in 1u32..20,
+        seed in any::<u64>(),
+    ) {
+        let c = Choice::weighted(vec![(w1, 0usize), (w2, 1), (w3, 2)]);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let n = 30_000u32;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            counts[*c.sample(&mut rng)] += 1;
+        }
+        let total = f64::from(w1 + w2 + w3);
+        for (i, &w) in [w1, w2, w3].iter().enumerate() {
+            let expected = f64::from(n) * f64::from(w) / total;
+            let sd = (expected * (1.0 - f64::from(w) / total)).sqrt();
+            let dev = (f64::from(counts[i]) - expected).abs();
+            // 6 sigma: negligible flake probability across all cases.
+            prop_assert!(dev < 6.0 * sd + 1.0, "branch {i}: {dev} vs sd {sd}");
+        }
+    }
+
+    #[test]
+    fn coin_choice_is_fair(seed in any::<u64>()) {
+        let c = Choice::coin(true, false);
+        let mut rng = SplitMix64::new(seed);
+        let heads = (0..20_000).filter(|_| *c.sample(&mut rng)).count();
+        prop_assert!((9_200..10_800).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn schedule_format_parse_round_trips(sched in prop::collection::vec(0usize..9, 0..50)) {
+        // Zero-based textual form.
+        let text = sched
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        prop_assert_eq!(parse_schedule(&text, false).unwrap(), sched.clone());
+        // Paper's one-based parenthesized form.
+        let one_based = format!(
+            "({})",
+            sched.iter().map(|p| (p + 1).to_string()).collect::<Vec<_>>().join(",")
+        );
+        prop_assert_eq!(parse_schedule(&one_based, true).unwrap(), sched);
+    }
+
+    #[test]
+    fn starvation_gaps_are_bounded_by_length(
+        sched in prop::collection::vec(0usize..4, 0..80),
+    ) {
+        let gaps = starvation_gaps(&sched, 4);
+        prop_assert_eq!(gaps.len(), 4);
+        for (pid, &g) in gaps.iter().enumerate() {
+            prop_assert!(g <= sched.len());
+            // A processor that appears gets a gap strictly below the length
+            // unless it appears exactly once at an end... in all cases the
+            // gap of an appearing processor is < len when len > 0.
+            if sched.contains(&pid) && !sched.is_empty() {
+                prop_assert!(g < sched.len(), "P{pid} gap {g} len {}", sched.len());
+            }
+            // A missing processor is starved for the whole schedule.
+            if !sched.contains(&pid) {
+                prop_assert_eq!(g, sched.len());
+            }
+        }
+    }
+
+    #[test]
+    fn k_fairness_is_monotone_in_k(
+        sched in prop::collection::vec(0usize..3, 1..60),
+        k in 1usize..20,
+    ) {
+        if is_k_fair(&sched, 3, k) {
+            prop_assert!(is_k_fair(&sched, 3, k + 1));
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic_functions_of_seed(seed in any::<u64>()) {
+        let mut a = Xoshiro256StarStar::new(seed);
+        let mut b = Xoshiro256StarStar::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_never_exceeds_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+}
+
+/// Cross-check of the in-repo PRNG against the `rand` crate: both must pass
+/// the same frequency bound on coin flips, so a statistical regression in
+/// our generator would stand out against the reference.
+#[test]
+fn coin_fairness_matches_rand_reference() {
+    use rand::{Rng as _, SeedableRng};
+    let n = 100_000u32;
+    let band = 48_500..51_500;
+
+    let mut ours = Xoshiro256StarStar::new(2024);
+    let ours_heads = (0..n).filter(|_| ours.coin()).count();
+    assert!(band.contains(&ours_heads), "ours: {ours_heads}");
+
+    let mut reference = rand::rngs::StdRng::seed_from_u64(2024);
+    let ref_heads = (0..n).filter(|_| reference.next_u64() >> 63 == 1).count();
+    assert!(band.contains(&ref_heads), "rand: {ref_heads}");
+}

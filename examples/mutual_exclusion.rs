@@ -1,0 +1,48 @@
+//! Mutual exclusion via coordination — the paper's §1 motivation.
+//!
+//! "The mutual exclusion problem can be formulated in our context as
+//! choosing the identity of a processor who is to enter the critical
+//! region. In this case, the input value of every processor in the trial
+//! region is simply its own identity."
+//!
+//! Three workers repeatedly compete for a critical section; each round runs
+//! one instance of the §5 protocol with identities as inputs, the winner
+//! "enters", and the mutual-exclusion safety property is checked across all
+//! rounds.
+//!
+//! Run with: `cargo run -p cil-core --example mutual_exclusion`
+
+use cil_core::apps::{elect_leader, MutexLog};
+use cil_core::n_unbounded::NUnbounded;
+use cil_sim::{RandomScheduler, SplitKeeper};
+
+fn main() {
+    let protocol = NUnbounded::three();
+    let mut log = MutexLog::new();
+    let mut wins = [0u32; 3];
+
+    println!("round | winner | P-steps (P0,P1,P2) | scheduler");
+    println!("------|--------|--------------------|----------");
+    for round in 0..30u64 {
+        // Alternate between a benign and an adaptive adversarial scheduler —
+        // the critical section assignment must stay unique either way.
+        let (winner, out) = if round % 2 == 0 {
+            elect_leader(&protocol, RandomScheduler::new(round), round, 1_000_000)
+        } else {
+            elect_leader(&protocol, SplitKeeper::new(), round, 1_000_000)
+        };
+        log.enter(round, winner);
+        wins[winner] += 1;
+        println!(
+            "{round:>5} | P{winner}     | {:>2}, {:>2}, {:>2}          | {}",
+            out.steps[0],
+            out.steps[1],
+            out.steps[2],
+            if round % 2 == 0 { "random" } else { "split-keeper" }
+        );
+    }
+
+    println!("\nwins: P0 = {}, P1 = {}, P2 = {}", wins[0], wins[1], wins[2]);
+    assert!(log.mutual_exclusion_holds(), "two workers in the CS at once!");
+    println!("mutual exclusion held across all {} rounds ✓", log.len());
+}

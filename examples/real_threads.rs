@@ -1,0 +1,50 @@
+//! The paper's closing claim, executed literally: the protocols run on
+//! real OS threads over real hardware atomic registers (`AtomicU64` with
+//! plain loads/stores — **no** compare-and-swap, matching the paper's
+//! no-test-and-set model), with the operating system as the adversary
+//! scheduler.
+//!
+//! Run with: `cargo run -p cil-core --example real_threads --release`
+
+use cil_core::n_unbounded::NUnbounded;
+use cil_core::three_bounded::ThreeBounded;
+use cil_core::two::TwoProcessor;
+use cil_sim::{run_on_threads, Val};
+
+fn main() {
+    println!("two-processor protocol (Fig. 1) on 2 OS threads:");
+    let p2 = TwoProcessor::new();
+    for seed in 0..8 {
+        let out = run_on_threads(&p2, &[Val::A, Val::B], seed, 1_000_000);
+        println!(
+            "  seed {seed}: decisions {:?}  steps {:?}  agreed: {:?}",
+            out.decisions, out.steps, out.agreed()
+        );
+        assert!(out.agreed().is_some(), "threads must agree");
+    }
+
+    println!("\nthree-processor unbounded protocol (Fig. 2) on 3 OS threads:");
+    let p3 = NUnbounded::three();
+    for seed in 0..8 {
+        let out = run_on_threads(&p3, &[Val::A, Val::B, Val::A], seed, 1_000_000);
+        println!(
+            "  seed {seed}: decisions {:?}  steps {:?}  agreed: {:?}",
+            out.decisions, out.steps, out.agreed()
+        );
+        assert!(out.agreed().is_some(), "threads must agree");
+    }
+
+    println!("\nthree-processor bounded protocol (Fig. 3) on 3 OS threads:");
+    println!("(every register value fits in 7 bits of one machine word)");
+    let pb = ThreeBounded::new();
+    for seed in 0..8 {
+        let out = run_on_threads(&pb, &[Val::B, Val::A, Val::B], seed, 1_000_000);
+        println!(
+            "  seed {seed}: decisions {:?}  steps {:?}  agreed: {:?}",
+            out.decisions, out.steps, out.agreed()
+        );
+        assert!(out.agreed().is_some(), "threads must agree");
+    }
+
+    println!("\nall thread runs agreed — 'implementable in existing technology' ✓");
+}

@@ -1,0 +1,6 @@
+//! Integration-test package for the CIL reproduction workspace.
+//!
+//! This crate intentionally exports nothing; all content lives in
+//! `tests/tests/*.rs`, which exercise the public APIs of every workspace
+//! crate together (protocol → simulator → analysis pipelines, model-checker
+//! cross-validation, register-backend swaps).

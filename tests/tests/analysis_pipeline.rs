@@ -1,0 +1,104 @@
+//! End-to-end pipeline tests: protocol → simulator → analysis, the same
+//! dataflow the experiment harness uses, plus property tests of the
+//! statistics against naive reference computations.
+
+use cil_analysis::{linear_fit, wilson95, OnlineStats, TailEstimator, Table};
+use cil_core::two::TwoProcessor;
+use cil_sim::{RandomScheduler, Runner, StopWhen, Val};
+use proptest::prelude::*;
+
+#[test]
+fn steps_pipeline_matches_paper_scale() {
+    // Collect P0's step counts through the analysis crate and check the
+    // end-to-end numbers land in the Theorem 7 regime.
+    let p = TwoProcessor::new();
+    let mut stats = OnlineStats::new();
+    let mut tail = TailEstimator::new();
+    for seed in 0..5_000u64 {
+        let o = Runner::new(&p, &[Val::A, Val::B], RandomScheduler::new(seed))
+            .seed(seed)
+            .stop_when(StopWhen::PidDecided(0))
+            .run();
+        stats.push(o.steps[0] as f64);
+        tail.push(o.steps[0]);
+    }
+    assert!(stats.mean() >= 2.0 && stats.mean() <= 10.0, "mean {}", stats.mean());
+    // The empirical survival must respect the worst-case law (3/4)^((k-2)/2)
+    // with sampling slack.
+    assert_eq!(
+        tail.violates_bound(|k| {
+            if k <= 2 {
+                1.0
+            } else {
+                0.75f64.powf((k as f64 - 2.0) / 2.0)
+            }
+        }, 1.10),
+        None
+    );
+    // And decay geometrically.
+    let rate = tail.geometric_rate(1e-3).expect("enough mass");
+    assert!(rate < 0.9, "rate {rate}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn online_stats_match_naive_reference(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn survival_is_monotone_and_normalized(xs in prop::collection::vec(0u64..50, 1..200)) {
+        let t: TailEstimator = xs.iter().copied().collect();
+        let curve = t.survival_curve();
+        prop_assert!((curve[0] - 1.0).abs() < 1e-12);
+        for w in curve.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+        }
+        prop_assert_eq!(*curve.last().unwrap(), 0.0);
+        // pmf sums to 1.
+        let total: f64 = (0..=t.max()).map(|k| t.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_proportion(s in 0u64..100, extra in 0u64..100) {
+        let n = s + extra;
+        prop_assume!(n > 0);
+        let (lo, hi) = wilson95(s, n);
+        let p = s as f64 / n as f64;
+        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn linear_fit_is_translation_equivariant(
+        pts in prop::collection::vec((-100f64..100.0, -100f64..100.0), 3..30),
+        dy in -50f64..50.0,
+    ) {
+        prop_assume!(pts.iter().any(|p| (p.0 - pts[0].0).abs() > 1e-3));
+        if let Some((a1, b1)) = linear_fit(&pts) {
+            let shifted: Vec<(f64, f64)> = pts.iter().map(|&(x, y)| (x, y + dy)).collect();
+            let (a2, b2) = linear_fit(&shifted).unwrap();
+            prop_assert!((a1 - a2).abs() < 1e-6 * (1.0 + a1.abs()));
+            prop_assert!((b1 + dy - b2).abs() < 1e-5 * (1.0 + b1.abs() + dy.abs()));
+        }
+    }
+}
+
+#[test]
+fn table_renders_experiment_style_output() {
+    let mut t = Table::new(["adversary", "mean", "ci"]);
+    t.row(["random", "5.97", "[5.93, 6.01]"]);
+    t.row(["mdp-optimal", "10.0", "[9.95, 10.1]"]);
+    let s = t.render();
+    assert!(s.contains("mdp-optimal"));
+    assert_eq!(s.lines().count(), 4);
+}

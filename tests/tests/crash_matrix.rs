@@ -1,0 +1,101 @@
+//! Systematic fail-stop matrix: every crash pattern of up to n − 1
+//! processors at every early crash time, for the three-processor protocols.
+//!
+//! The paper tolerates "fail/stop type errors of up to all but one of the
+//! system processors"; survivors must decide, consistently and
+//! nontrivially, no matter when the others die.
+
+use cil_core::n_unbounded::NUnbounded;
+use cil_core::three_bounded::ThreeBounded;
+use cil_core::two::TwoProcessor;
+use cil_sim::{CrashPlan, Protocol, RandomScheduler, Runner, Val};
+
+fn crash_sweep<P: Protocol>(protocol: &P, inputs: &[Val], label: &str) {
+    let n = protocol.processes();
+    // Every non-empty proper subset of processors crashes.
+    for mask in 1u32..(1 << n) - 1 {
+        let victims: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        if victims.len() == n {
+            continue;
+        }
+        // Stagger crash times over a few early offsets.
+        for offset in [0u64, 1, 2, 5, 9] {
+            let mut plan = CrashPlan::none();
+            for (j, &pid) in victims.iter().enumerate() {
+                plan = plan.crash(pid, offset + 2 * j as u64);
+            }
+            for seed in 0..5u64 {
+                let out = Runner::new(protocol, inputs, RandomScheduler::new(seed))
+                    .seed(seed.wrapping_mul(31) ^ u64::from(mask) ^ offset)
+                    .crashes(plan.clone())
+                    .max_steps(2_000_000)
+                    .run();
+                assert!(
+                    out.consistent(),
+                    "{label}: inconsistent, mask {mask:b} offset {offset} seed {seed}"
+                );
+                assert!(
+                    out.nontrivial(),
+                    "{label}: trivial, mask {mask:b} offset {offset} seed {seed}"
+                );
+                for pid in 0..n {
+                    if !victims.contains(&pid) {
+                        assert!(
+                            out.decisions[pid].is_some(),
+                            "{label}: survivor P{pid} stuck, mask {mask:b} offset {offset} seed {seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn two_processor_crash_matrix() {
+    crash_sweep(&TwoProcessor::new(), &[Val::A, Val::B], "two-proc");
+}
+
+#[test]
+fn three_unbounded_crash_matrix() {
+    crash_sweep(
+        &NUnbounded::three(),
+        &[Val::A, Val::B, Val::A],
+        "three-unbounded",
+    );
+}
+
+#[test]
+fn three_bounded_crash_matrix() {
+    crash_sweep(
+        &ThreeBounded::new(),
+        &[Val::B, Val::A, Val::B],
+        "three-bounded",
+    );
+}
+
+#[test]
+fn five_processor_crash_matrix_sampled() {
+    // For n = 5 sweep only the all-but-one patterns (the paper's t = n − 1).
+    let p = NUnbounded::new(5);
+    let inputs: Vec<Val> = (0..5).map(|i| Val((i % 2) as u64)).collect();
+    for survivor in 0..5usize {
+        for seed in 0..10u64 {
+            let mut plan = CrashPlan::none();
+            let mut j = 0u64;
+            for pid in 0..5 {
+                if pid != survivor {
+                    plan = plan.crash(pid, 1 + 2 * j);
+                    j += 1;
+                }
+            }
+            let out = Runner::new(&p, &inputs, RandomScheduler::new(seed))
+                .seed(seed ^ survivor as u64)
+                .crashes(plan)
+                .max_steps(5_000_000)
+                .run();
+            assert!(out.decisions[survivor].is_some(), "survivor {survivor} stuck");
+            assert!(out.consistent() && out.nontrivial());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the register substrate against simple reference
+//! models, plus packing round-trips across crates.
+
+use cil_core::n_unbounded::NReg;
+use cil_core::three_bounded::register_alphabet;
+use cil_registers::linearize::{is_linearizable, HistOp};
+use cil_registers::{Packable, Pid, ReaderSet, RegId, RegisterSpec, SharedMemory};
+use cil_sim::Val;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    #[allow(clippy::explicit_counter_loop)]
+    fn shared_memory_behaves_like_a_vec(ops in prop::collection::vec((0usize..4, any::<bool>(), any::<u8>()), 0..64)) {
+        // Model: 4 registers, everyone reads, register i owned by P(i).
+        let specs: Vec<RegisterSpec<u8>> = (0..4)
+            .map(|i| RegisterSpec::new(RegId(i), format!("r{i}"), Pid(i), ReaderSet::All, 0))
+            .collect();
+        let mut mem = SharedMemory::new(specs).unwrap();
+        let mut model = [0u8; 4];
+        let mut expected_ops = 0u64;
+        for (reg, is_write, v) in ops {
+            if is_write {
+                let prev = mem.write(Pid(reg), RegId(reg), v).unwrap();
+                prop_assert_eq!(prev, model[reg]);
+                model[reg] = v;
+            } else {
+                let got = *mem.read(Pid((reg + 1) % 4), RegId(reg)).unwrap();
+                prop_assert_eq!(got, model[reg]);
+            }
+            expected_ops += 1;
+            prop_assert_eq!(mem.op_count(), expected_ops);
+        }
+        prop_assert_eq!(mem.snapshot(), &model[..]);
+    }
+
+    #[test]
+    fn wrong_writer_always_rejected(pid in 0usize..4, reg in 0usize..4, v in any::<u8>()) {
+        let specs: Vec<RegisterSpec<u8>> = (0..4)
+            .map(|i| RegisterSpec::new(RegId(i), format!("r{i}"), Pid(i), ReaderSet::All, 0))
+            .collect();
+        let mut mem = SharedMemory::new(specs).unwrap();
+        let result = mem.write(Pid(pid), RegId(reg), v);
+        prop_assert_eq!(result.is_ok(), pid == reg);
+    }
+
+    #[test]
+    fn sequential_histories_are_always_linearizable(values in prop::collection::vec((any::<bool>(), 0usize..8), 1..20)) {
+        // Build a strictly sequential history; reads return the model value.
+        let mut t = 0u64;
+        let mut cur = 0usize;
+        let mut h = Vec::new();
+        for (is_write, v) in values {
+            if is_write {
+                h.push(HistOp::write(t, t + 1, v));
+                cur = v;
+            } else {
+                h.push(HistOp::read(t, t + 1, cur));
+            }
+            t += 2;
+        }
+        prop_assert!(is_linearizable(0, &h));
+    }
+
+    #[test]
+    fn sequential_history_with_one_wrong_read_is_rejected(n in 1usize..10, wrong in 0usize..10) {
+        prop_assume!(wrong < n);
+        let mut h = Vec::new();
+        let mut t = 0u64;
+        for i in 0..n {
+            h.push(HistOp::write(t, t + 1, i + 1));
+            t += 2;
+            // Read back what was just written, except one poisoned read.
+            let ret = if i == wrong { 7777 } else { i + 1 };
+            h.push(HistOp::read(t, t + 1, ret));
+            t += 2;
+        }
+        prop_assert!(!is_linearizable(0, &h));
+    }
+
+    #[test]
+    fn val_packing_round_trips(v in any::<u64>()) {
+        prop_assert_eq!(Val::unpack(Val(v).pack()), Val(v));
+    }
+
+    #[test]
+    fn option_val_packing_round_trips(v in proptest::option::of(0u64..u64::MAX - 1)) {
+        let x = v.map(Val);
+        prop_assert_eq!(Option::<Val>::unpack(x.pack()), x);
+    }
+
+    #[test]
+    fn nreg_packing_round_trips(pref in proptest::option::of(0u64..(1 << 15)), num in 0u64..(1 << 48)) {
+        let r = NReg { pref: pref.map(Val), num };
+        prop_assert_eq!(NReg::unpack(r.pack()), r);
+    }
+}
+
+#[test]
+fn breg_alphabet_packs_injectively() {
+    use std::collections::HashMap;
+    let mut seen = HashMap::new();
+    for v in register_alphabet() {
+        let w = v.pack();
+        if let Some(prev) = seen.insert(w, v) {
+            panic!("collision: {prev:?} and {v:?} both pack to {w}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based safety tests: consistency and nontriviality of every
+//! protocol in the paper, under randomized inputs, coins and schedulers.
+//!
+//! These are the paper's requirements 1 and 2 (§2), which randomized
+//! protocols must satisfy **on every run** — "the protocols never err".
+
+use cil_core::kvalued::KValued;
+use cil_core::n_unbounded::NUnbounded;
+use cil_core::three_bounded::ThreeBounded;
+use cil_core::two::TwoProcessor;
+use cil_sim::{
+    BoxedAdversary, LaggardFirst, LeaderFirst, Protocol, RandomScheduler, RoundRobin, Runner,
+    SplitKeeper, Val,
+};
+use proptest::prelude::*;
+
+fn pick_adversary<P: Protocol>(which: u8, seed: u64) -> BoxedAdversary<P> {
+    match which % 5 {
+        0 => Box::new(RoundRobin::new()),
+        1 => Box::new(RandomScheduler::new(seed)),
+        2 => Box::new(SplitKeeper::new()),
+        3 => Box::new(LaggardFirst::new()),
+        _ => Box::new(LeaderFirst::new()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn two_processor_safety(a in 0u64..2, b in 0u64..2, seed in any::<u64>(), adv in 0u8..5) {
+        let p = TwoProcessor::new();
+        let out = Runner::new(&p, &[Val(a), Val(b)], pick_adversary(adv, seed))
+            .seed(seed)
+            .max_steps(200_000)
+            .run();
+        prop_assert!(out.consistent());
+        prop_assert!(out.nontrivial());
+        prop_assert!(out.all_alive_decided(), "randomized termination failed");
+    }
+
+    #[test]
+    fn three_unbounded_safety(
+        inputs in prop::array::uniform3(0u64..2),
+        seed in any::<u64>(),
+        adv in 0u8..5,
+    ) {
+        let p = NUnbounded::three();
+        let vals: Vec<Val> = inputs.iter().map(|&v| Val(v)).collect();
+        let out = Runner::new(&p, &vals, pick_adversary(adv, seed))
+            .seed(seed)
+            .max_steps(2_000_000)
+            .run();
+        prop_assert!(out.consistent());
+        prop_assert!(out.nontrivial());
+        prop_assert!(out.all_alive_decided());
+    }
+
+    #[test]
+    fn three_bounded_safety(
+        inputs in prop::array::uniform3(0u64..2),
+        seed in any::<u64>(),
+        adv in 0u8..5,
+    ) {
+        let p = ThreeBounded::new();
+        let vals: Vec<Val> = inputs.iter().map(|&v| Val(v)).collect();
+        let out = Runner::new(&p, &vals, pick_adversary(adv, seed))
+            .seed(seed)
+            .max_steps(2_000_000)
+            .run();
+        prop_assert!(out.consistent());
+        prop_assert!(out.nontrivial());
+        prop_assert!(out.all_alive_decided());
+    }
+
+    #[test]
+    fn n_processor_safety(
+        n in 2usize..7,
+        seed in any::<u64>(),
+        adv in 0u8..5,
+        pattern in any::<u64>(),
+    ) {
+        let p = NUnbounded::new(n);
+        let vals: Vec<Val> = (0..n).map(|i| Val((pattern >> i) & 1)).collect();
+        let out = Runner::new(&p, &vals, pick_adversary(adv, seed))
+            .seed(seed)
+            .max_steps(5_000_000)
+            .run();
+        prop_assert!(out.consistent());
+        prop_assert!(out.nontrivial());
+        prop_assert!(out.all_alive_decided());
+    }
+
+    #[test]
+    fn kvalued_safety(
+        k_pow in 1u32..7,
+        ia in any::<u64>(),
+        ib in any::<u64>(),
+        seed in any::<u64>(),
+        adv in 0u8..5,
+    ) {
+        let k = 1u64 << k_pow;
+        let p = KValued::new(TwoProcessor::new(), k);
+        let inputs = [Val(ia % k), Val(ib % k)];
+        let out = Runner::new(&p, &inputs, pick_adversary(adv, seed))
+            .seed(seed)
+            .max_steps(2_000_000)
+            .run();
+        prop_assert!(out.consistent());
+        prop_assert!(out.nontrivial());
+        prop_assert!(out.all_alive_decided());
+        let v = out.agreement().expect("all decided");
+        prop_assert!(inputs.contains(&v), "decision {v} is not an input");
+    }
+}

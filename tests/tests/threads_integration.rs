@@ -1,0 +1,63 @@
+//! Real-thread integration: the paper's protocols on OS threads over
+//! hardware atomic registers, with the OS as the scheduler. Exercises
+//! `cil-sim::threads` + `cil-registers::hw` + `cil-core` packings together.
+
+use cil_core::n_unbounded::NUnbounded;
+use cil_core::three_bounded::ThreeBounded;
+use cil_core::two::TwoProcessor;
+use cil_sim::{run_on_threads, Val};
+
+#[test]
+fn two_processor_agrees_on_real_threads() {
+    let p = TwoProcessor::new();
+    for seed in 0..30 {
+        let out = run_on_threads(&p, &[Val::A, Val::B], seed, 1_000_000);
+        let v = out.agreed().expect("threads must agree");
+        assert!(v == Val::A || v == Val::B);
+        assert!(out.steps.iter().all(|&s| s >= 2));
+    }
+}
+
+#[test]
+fn three_unbounded_agrees_on_real_threads() {
+    let p = NUnbounded::three();
+    for seed in 0..30 {
+        let out = run_on_threads(&p, &[Val::A, Val::B, Val::A], seed, 1_000_000);
+        assert!(out.agreed().is_some(), "seed {seed}: {:?}", out.decisions);
+    }
+}
+
+#[test]
+fn three_bounded_agrees_on_real_threads() {
+    let p = ThreeBounded::new();
+    for seed in 0..30 {
+        let out = run_on_threads(&p, &[Val::B, Val::A, Val::B], seed, 1_000_000);
+        assert!(out.agreed().is_some(), "seed {seed}: {:?}", out.decisions);
+    }
+}
+
+#[test]
+fn unanimous_inputs_agree_on_that_value_across_backends() {
+    // Simulator and thread backend must both settle unanimous inputs on the
+    // unanimous value (nontriviality leaves no alternative).
+    let p = NUnbounded::three();
+    let inputs = [Val::B, Val::B, Val::B];
+    for seed in 0..10 {
+        let threads = run_on_threads(&p, &inputs, seed, 1_000_000);
+        assert_eq!(threads.agreed(), Some(Val::B));
+        let sim = cil_sim::Runner::new(&p, &inputs, cil_sim::RandomScheduler::new(seed))
+            .seed(seed)
+            .run();
+        assert_eq!(sim.agreement(), Some(Val::B));
+    }
+}
+
+#[test]
+fn thread_backend_handles_larger_n() {
+    let p = NUnbounded::new(6);
+    let inputs: Vec<Val> = (0..6).map(|i| Val((i % 2) as u64)).collect();
+    for seed in 0..10 {
+        let out = run_on_threads(&p, &inputs, seed, 2_000_000);
+        assert!(out.agreed().is_some(), "seed {seed}: {:?}", out.decisions);
+    }
+}
