@@ -153,7 +153,7 @@ struct Row {
     mean_steps: f64,
 }
 
-fn bench_protocol<P: Protocol>(protocol: &P, runs: u64, budget: u64, mix: Mix) -> Row {
+fn bench_protocol<P: Protocol + Sync>(protocol: &P, runs: u64, budget: u64, mix: Mix) -> Row {
     let inputs = [Val::A, Val::B, Val::A];
     let r = sweep(
         runs,

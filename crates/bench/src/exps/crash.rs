@@ -6,9 +6,9 @@
 //! processor crash at adversarially staggered early steps; the survivor
 //! must still decide, consistently and nontrivially.
 
-use cil_analysis::{fnum, OnlineStats, Table};
+use cil_analysis::{fnum, Table};
 use cil_core::n_unbounded::NUnbounded;
-use cil_sim::{CrashPlan, RandomScheduler, Runner, Val};
+use cil_sim::{CrashPlan, RandomScheduler, Runner, TrialResult, TrialSweep, Val};
 
 /// Runs the experiment and returns its markdown report.
 pub fn run() -> String {
@@ -29,10 +29,8 @@ pub fn run() -> String {
     for n in [2usize, 3, 5, 8] {
         let p = NUnbounded::new(n);
         let inputs: Vec<Val> = (0..n).map(|i| Val((i % 2) as u64)).collect();
-        let mut decided = 0u64;
-        let mut stats = OnlineStats::new();
-        let mut bad = 0u64;
-        for seed in 0..runs {
+        let stats = TrialSweep::new(runs).jobs(crate::jobs()).run(|trial| {
+            let seed = trial.index;
             let mut plan = CrashPlan::none();
             for (j, pid) in (1..n).enumerate() {
                 // Crash P1..P_{n-1} at steps 1, 3, 5, … — each right after
@@ -44,21 +42,19 @@ pub fn run() -> String {
                 .crashes(plan)
                 .max_steps(5_000_000)
                 .run();
-            if o.decisions[0].is_some() {
-                decided += 1;
-            }
-            if !o.consistent() || !o.nontrivial() {
-                bad += 1;
-            }
-            stats.push(o.steps[0] as f64);
-        }
+            // The flag counts survivor decisions; the metric is the
+            // survivor's own steps, not total work.
+            TrialResult::from_run(&o)
+                .metric(o.steps[0])
+                .flag(o.decisions[0].is_some())
+        });
         t.row([
             n.to_string(),
             (n - 1).to_string(),
-            format!("{}/{runs}", decided),
-            fnum(stats.mean()),
-            fnum(stats.max()),
-            bad.to_string(),
+            format!("{}/{runs}", stats.flagged),
+            fnum(stats.mean().unwrap_or(0.0)),
+            fnum(stats.metric_max().unwrap_or(0) as f64),
+            stats.violations().to_string(),
         ]);
     }
     out.push_str(&t.render());

@@ -4,7 +4,8 @@
 //! protocol (bit-by-bit over the Figure 1 binary protocol), checking the
 //! logarithmic growth the theorem promises.
 
-use cil_analysis::{fnum, linear_fit, OnlineStats, Table};
+use crate::sweep::sweep;
+use cil_analysis::{fnum, linear_fit, Table};
 use cil_core::kvalued::KValued;
 use cil_core::two::TwoProcessor;
 use cil_sim::{RandomScheduler, Runner, Val};
@@ -30,19 +31,18 @@ pub fn run() -> String {
     let mut pts = Vec::new();
     for k in [2u64, 4, 8, 16, 32, 64] {
         let p = KValued::new(TwoProcessor::new(), k);
-        let mut stats = OnlineStats::new();
-        let mut bad = 0u64;
-        for seed in 0..runs {
-            let inputs = [Val(seed % k), Val((seed.wrapping_mul(7) + 1) % k)];
-            let o = Runner::new(&p, &inputs, RandomScheduler::new(seed))
-                .seed(seed ^ 0xCAFE)
-                .max_steps(1_000_000)
-                .run();
-            if !o.consistent() || !o.nontrivial() {
-                bad += 1;
-            }
-            stats.push(o.total_steps as f64);
-        }
+        let r = sweep(
+            runs,
+            |seed| {
+                let inputs = [Val(seed % k), Val((seed.wrapping_mul(7) + 1) % k)];
+                Runner::new(&p, &inputs, RandomScheduler::new(seed))
+                    .seed(seed ^ 0xCAFE)
+                    .max_steps(1_000_000)
+                    .run()
+            },
+            |o| o.total_steps,
+        );
+        let (stats, bad) = (r.stats, r.violations);
         if k == 2 {
             base = stats.mean();
         }

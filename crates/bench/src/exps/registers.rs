@@ -11,7 +11,7 @@ use cil_registers::construct::atomic_from_regular::{seq_store, PairCodec, SeqRea
 use cil_registers::construct::multivalued::{unary_store, ClearOrder, UnaryReader, UnaryWriter};
 use cil_registers::construct::regular_from_safe::{DirectReader, QuietWriter, TransparentWriter};
 use cil_registers::construct::{check_regular, run_interleaved, StepMachine, Store};
-use cil_registers::exhaust::explore;
+use cil_registers::exhaust::explore_par;
 use cil_registers::linearize::{is_linearizable, HistOp};
 use cil_registers::taxonomy::{IntervalRegister, RegClass};
 
@@ -26,15 +26,12 @@ pub fn run() -> String {
     let mut t = Table::new(["construction", "scenarios checked", "violations", "verdict"]);
 
     // C1: regular boolean from safe boolean.
-    let mut violations = 0u64;
-    let c1 = explore(10_000_000, |ch| {
+    let (c1, violations) = explore_par(10_000_000, crate::jobs(), |ch| {
         let mut store = Store::new(vec![IntervalRegister::new(RegClass::Safe, 2, 0)]);
         let mut w = QuietWriter::new(0, 0, [1, 1, 0, 1]);
         let mut r = DirectReader::new(0, 4);
         run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
-        if check_regular(0, w.history(), r.history()).is_err() {
-            violations += 1;
-        }
+        check_regular(0, w.history(), r.history()).is_err()
     });
     t.row([
         "C1 regular-from-safe (quiet writer)".into(),
@@ -44,15 +41,12 @@ pub fn run() -> String {
     ]);
 
     // C1 negative control.
-    let mut violations = 0u64;
-    let c1n = explore(10_000_000, |ch| {
+    let (c1n, violations) = explore_par(10_000_000, crate::jobs(), |ch| {
         let mut store = Store::new(vec![IntervalRegister::new(RegClass::Safe, 2, 0)]);
         let mut w = TransparentWriter::new(0, [0, 1]);
         let mut r = DirectReader::new(0, 2);
         run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
-        if check_regular(0, w.history(), r.history()).is_err() {
-            violations += 1;
-        }
+        check_regular(0, w.history(), r.history()).is_err()
     });
     t.row([
         "C1⁻ write-through control (must fail)".into(),
@@ -62,15 +56,12 @@ pub fn run() -> String {
     ]);
 
     // C2: k-valued regular from boolean regular (descending clears).
-    let mut violations = 0u64;
-    let c2 = explore(10_000_000, |ch| {
+    let (c2, violations) = explore_par(10_000_000, crate::jobs(), |ch| {
         let mut store = unary_store(3, 2);
         let mut w = UnaryWriter::new(3, [0, 2], ClearOrder::Descending);
         let mut r = UnaryReader::new(3, 2);
         run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
-        if check_regular(2, w.history(), r.history()).is_err() {
-            violations += 1;
-        }
+        check_regular(2, w.history(), r.history()).is_err()
     });
     t.row([
         "C2 multivalued regular (descending)".into(),
@@ -80,15 +71,12 @@ pub fn run() -> String {
     ]);
 
     // C2 negative control (ascending clears).
-    let mut violations = 0u64;
-    let c2n = explore(10_000_000, |ch| {
+    let (c2n, violations) = explore_par(10_000_000, crate::jobs(), |ch| {
         let mut store = unary_store(3, 1);
         let mut w = UnaryWriter::new(3, [0, 2], ClearOrder::Ascending);
         let mut r = UnaryReader::new(3, 1);
         run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
-        if check_regular(1, w.history(), r.history()).is_err() {
-            violations += 1;
-        }
+        check_regular(1, w.history(), r.history()).is_err()
     });
     t.row([
         "C2⁻ ascending clears (must fail)".into(),
@@ -99,16 +87,13 @@ pub fn run() -> String {
 
     // C3: atomic from regular via sequence numbers.
     let codec = PairCodec { k: 3, max_seq: 4 };
-    let mut violations = 0u64;
-    let c3 = explore(10_000_000, |ch| {
+    let (c3, violations) = explore_par(10_000_000, crate::jobs(), |ch| {
         let mut store = seq_store(codec, 0);
         let mut w = SeqWriter::new(codec, 0, [1, 2]);
         let mut r = SeqReader::new(codec, 0, 0, 3, true);
         run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
         let h = merge(w.history(), r.history());
-        if !is_linearizable(0, &h) {
-            violations += 1;
-        }
+        !is_linearizable(0, &h)
     });
     t.row([
         "C3 atomic-from-regular (seq guard)".into(),
@@ -118,16 +103,13 @@ pub fn run() -> String {
     ]);
 
     // C3 negative control (no guard → new-old inversion).
-    let mut violations = 0u64;
-    let c3n = explore(10_000_000, |ch| {
+    let (c3n, violations) = explore_par(10_000_000, crate::jobs(), |ch| {
         let mut store = seq_store(codec, 0);
         let mut w = SeqWriter::new(codec, 0, [1, 2]);
         let mut r = SeqReader::new(codec, 0, 0, 3, false);
         run_interleaved(&mut store, &mut [&mut w, &mut r], ch);
         let h = merge(w.history(), r.history());
-        if !is_linearizable(0, &h) {
-            violations += 1;
-        }
+        !is_linearizable(0, &h)
     });
     t.row([
         "C3⁻ unguarded reader (must fail)".into(),

@@ -5,7 +5,8 @@
 //! experiment sweeps n, fits the growth exponent of total work, and
 //! measures the kn-normalized tail for one n.
 
-use cil_analysis::{ascii_series, fnum, power_law_fit, OnlineStats, Scale, Table, TailEstimator};
+use crate::sweep::sweep;
+use cil_analysis::{ascii_series, fnum, power_law_fit, Scale, Table};
 use cil_core::n_unbounded::NUnbounded;
 use cil_sim::{RandomScheduler, Runner, SplitKeeper, Val};
 
@@ -29,29 +30,28 @@ pub fn run() -> String {
     for n in [2usize, 3, 4, 5, 6, 8, 10, 12] {
         let p = NUnbounded::new(n);
         let inputs: Vec<Val> = (0..n).map(|i| Val((i % 2) as u64)).collect();
-        let mut stats = OnlineStats::new();
-        let mut adv_stats = OnlineStats::new();
-        let mut bad = 0u64;
-        for seed in 0..runs {
-            let o = Runner::new(&p, &inputs, RandomScheduler::new(seed))
-                .seed(seed ^ 0x5CA1E)
-                .max_steps(10_000_000)
-                .run();
-            if !o.consistent() || !o.nontrivial() {
-                bad += 1;
-            }
-            stats.push(o.total_steps as f64);
-        }
-        for seed in 0..runs / 2 {
-            let o = Runner::new(&p, &inputs, SplitKeeper::new())
-                .seed(seed)
-                .max_steps(10_000_000)
-                .run();
-            if !o.consistent() || !o.nontrivial() {
-                bad += 1;
-            }
-            adv_stats.push(o.total_steps as f64);
-        }
+        let random = sweep(
+            runs,
+            |seed| {
+                Runner::new(&p, &inputs, RandomScheduler::new(seed))
+                    .seed(seed ^ 0x5CA1E)
+                    .max_steps(10_000_000)
+                    .run()
+            },
+            |o| o.total_steps,
+        );
+        let keeper = sweep(
+            runs / 2,
+            |seed| {
+                Runner::new(&p, &inputs, SplitKeeper::new())
+                    .seed(seed)
+                    .max_steps(10_000_000)
+                    .run()
+            },
+            |o| o.total_steps,
+        );
+        let (stats, adv_stats) = (random.stats, keeper.stats);
+        let bad = random.violations + keeper.violations;
         t.row([
             n.to_string(),
             fnum(stats.mean()),
@@ -77,14 +77,17 @@ pub fn run() -> String {
     let n = 5usize;
     let p = NUnbounded::new(n);
     let inputs: Vec<Val> = (0..n).map(|i| Val((i % 2) as u64)).collect();
-    let mut tail = TailEstimator::new();
-    for seed in 0..crate::sample(20_000) {
-        let o = Runner::new(&p, &inputs, RandomScheduler::new(seed))
-            .seed(seed)
-            .max_steps(10_000_000)
-            .run();
-        tail.push(o.total_steps / n as u64); // k = total / n
-    }
+    let tail = sweep(
+        crate::sample(20_000),
+        |seed| {
+            Runner::new(&p, &inputs, RandomScheduler::new(seed))
+                .seed(seed)
+                .max_steps(10_000_000)
+                .run()
+        },
+        |o| o.total_steps / n as u64, // k = total / n
+    )
+    .tail;
     let mut t = Table::new(["k", "P[run needs > k*n steps]"]);
     let curve: Vec<f64> = (0..=30).map(|k| tail.survival(k)).collect();
     for k in [1u64, 2, 4, 6, 8, 10, 15, 20, 25, 30] {

@@ -25,15 +25,15 @@
 pub mod exps;
 pub mod sweep;
 
-pub use sweep::{sweep, SweepResult};
+pub use sweep::{sweep, sweep_with_jobs, SweepResult};
 
 use cil_sim::{Adversary, BoxedAdversary, LaggardFirst, Protocol, RandomScheduler, RoundRobin, SplitKeeper};
 
 /// The standard adversary suite used across experiments. Each entry is a
 /// factory so every run gets a fresh scheduler.
 #[allow(clippy::type_complexity)]
-pub fn adversary_suite<P: Protocol>() -> Vec<(&'static str, Box<dyn Fn(u64) -> BoxedAdversary<P>>)>
-{
+pub fn adversary_suite<P: Protocol>(
+) -> Vec<(&'static str, Box<dyn Fn(u64) -> BoxedAdversary<P> + Send + Sync>)> {
     vec![
         (
             "round-robin",
@@ -73,6 +73,18 @@ pub fn sample(release: u64) -> u64 {
     } else {
         release
     }
+}
+
+/// Worker count for experiment sweeps: the `CIL_JOBS` environment variable
+/// if set (where `0` and the default both mean available parallelism, `1`
+/// forces the serial path). Results are identical at every setting — see
+/// [`cil_sim::sweep`] for the determinism contract — so this only trades
+/// wall time.
+pub fn jobs() -> usize {
+    std::env::var("CIL_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -1,9 +1,16 @@
 //! Reusable Monte-Carlo sweep driver: run a configured experiment many
 //! times, accumulate a metric's statistics/tail, and count safety
 //! violations — the dataflow every experiment module shares.
+//!
+//! Since the parallel engine landed, the trials are fanned out over
+//! [`TrialSweep`]'s worker pool (worker count from [`crate::jobs`], i.e.
+//! the `CIL_JOBS` environment variable or available parallelism). The
+//! statistics are reconstructed from the sweep's merged metric histogram in
+//! ascending metric order, so every float in a [`SweepResult`] is identical
+//! at any worker count.
 
 use cil_analysis::{OnlineStats, TailEstimator};
-use cil_sim::{Halt, Protocol, RunOutcome};
+use cil_sim::{Halt, Protocol, RunOutcome, SweepStats, TrialResult, TrialSweep};
 
 /// Accumulated result of a sweep.
 #[derive(Debug, Default)]
@@ -24,29 +31,62 @@ impl SweepResult {
         let (lo, hi) = self.stats.ci95();
         format!("[{}, {}]", cil_analysis::fnum(lo), cil_analysis::fnum(hi))
     }
+
+    /// Rebuilds the float accumulators from a merged [`SweepStats`],
+    /// feeding the metric histogram in ascending order — one canonical
+    /// push sequence, so the result is independent of how the trials were
+    /// distributed over workers.
+    ///
+    /// Expects the sweep to have flagged budget-exhausted runs (see
+    /// [`sweep_with_jobs`]): `undecided` comes from the flag counter, which
+    /// unlike [`TrialOutcome`](cil_sim::TrialOutcome) also counts runs that
+    /// both violated safety *and* ran out of budget.
+    pub fn from_stats(stats: &SweepStats) -> Self {
+        let mut r = SweepResult {
+            violations: stats.violations(),
+            undecided: stats.flagged,
+            ..SweepResult::default()
+        };
+        for (&metric, &count) in &stats.metric_hist {
+            for _ in 0..count {
+                r.stats.push(metric as f64);
+                r.tail.push(metric);
+            }
+        }
+        r
+    }
 }
 
-/// Runs `make_run` for seeds `0..runs`, measuring `metric` on each outcome.
-pub fn sweep<P, F, M>(runs: u64, mut make_run: F, metric: M) -> SweepResult
+/// Runs `make_run` for seeds `0..runs` across the worker pool configured by
+/// [`crate::jobs`], measuring `metric` on each outcome.
+///
+/// The closure receives the trial index as its seed — exactly the seeds the
+/// historical serial loop used — so the set of runs (and therefore every
+/// counter and statistic) matches the serial sweep at any worker count.
+pub fn sweep<P, F, M>(runs: u64, make_run: F, metric: M) -> SweepResult
 where
     P: Protocol,
-    F: FnMut(u64) -> RunOutcome<P>,
-    M: Fn(&RunOutcome<P>) -> u64,
+    F: Fn(u64) -> RunOutcome<P> + Sync,
+    M: Fn(&RunOutcome<P>) -> u64 + Sync,
 {
-    let mut r = SweepResult::default();
-    for seed in 0..runs {
-        let out = make_run(seed);
-        if !out.consistent() || !out.nontrivial() {
-            r.violations += 1;
-        }
-        if out.halt == Halt::MaxSteps {
-            r.undecided += 1;
-        }
-        let m = metric(&out);
-        r.stats.push(m as f64);
-        r.tail.push(m);
-    }
-    r
+    sweep_with_jobs(runs, crate::jobs(), make_run, metric)
+}
+
+/// [`sweep`] with an explicit worker count (`0` = available parallelism,
+/// `1` = serial on the calling thread).
+pub fn sweep_with_jobs<P, F, M>(runs: u64, jobs: usize, make_run: F, metric: M) -> SweepResult
+where
+    P: Protocol,
+    F: Fn(u64) -> RunOutcome<P> + Sync,
+    M: Fn(&RunOutcome<P>) -> u64 + Sync,
+{
+    let stats = TrialSweep::new(runs).jobs(jobs).run(|trial| {
+        let outcome = make_run(trial.index);
+        TrialResult::from_run(&outcome)
+            .metric(metric(&outcome))
+            .flag(outcome.halt == Halt::MaxSteps)
+    });
+    SweepResult::from_stats(&stats)
 }
 
 #[cfg(test)]
@@ -91,5 +131,37 @@ mod tests {
         );
         assert_eq!(r.undecided, 20, "the killer blocks every run");
         assert_eq!(r.violations, 0, "blocked is not unsafe");
+    }
+
+    #[test]
+    fn sweep_results_are_identical_across_worker_counts() {
+        let p = TwoProcessor::new();
+        let run_with = |jobs: usize| {
+            sweep_with_jobs(
+                300,
+                jobs,
+                |seed| {
+                    Runner::new(&p, &[Val::A, Val::B], RandomScheduler::new(seed))
+                        .seed(seed)
+                        .run()
+                },
+                |o| o.total_steps,
+            )
+        };
+        let serial = run_with(1);
+        for jobs in [2, 8] {
+            let par = run_with(jobs);
+            assert_eq!(par.violations, serial.violations);
+            assert_eq!(par.undecided, serial.undecided);
+            assert_eq!(par.stats.count(), serial.stats.count());
+            // Bit-identical floats, not approximately equal: same canonical
+            // push order at every worker count.
+            assert_eq!(par.stats.mean().to_bits(), serial.stats.mean().to_bits());
+            assert_eq!(
+                par.stats.variance().to_bits(),
+                serial.stats.variance().to_bits()
+            );
+            assert_eq!(par.tail.survival_curve(), serial.tail.survival_curve());
+        }
     }
 }

@@ -15,7 +15,8 @@ use cil_mc::{construct_infinite_schedule, Explorer, LookaheadAdversary};
 use cil_registers::Packable;
 use cil_sim::{
     parse_schedule, run_on_threads, Adversary, Alternator, BoxedAdversary, FixedSchedule,
-    LaggardFirst, LeaderFirst, Protocol, RandomScheduler, RoundRobin, Runner, SplitKeeper, Val,
+    LaggardFirst, LeaderFirst, Protocol, RandomScheduler, Rng as _, RoundRobin, Runner,
+    SplitKeeper, TrialResult, TrialSweep, Val,
 };
 use std::fmt::Write as _;
 
@@ -26,7 +27,10 @@ pub fn help() -> String {
 USAGE:
   cil run       --protocol <P> --inputs a,b[,..] [--adversary <A>] [--seed N]
                 [--max-steps N] [--trace]
+  cil sweep     --protocol <P> --inputs a,b[,..] [--adversary <A>] [--trials N]
+                [--seed N] [--max-steps N] [--jobs N]   parallel Monte-Carlo sweep
   cil check     --protocol <P> --inputs a,b[,..] [--depth N] [--max-configs N]
+                [--jobs N]
   cil mdp       --inputs a,b [--kmax N]            exact Theorem 7 analysis
   cil theorem4  --rule <R> [--steps N]             construct the infinite schedule
   cil elect     [--n N] [--rounds N]               leader election / mutual exclusion
@@ -38,6 +42,8 @@ PROTOCOLS <P>: two | fig2 | fig2-literal | fig2-1w1r | fig3 | naive
 ADVERSARIES <A>: round-robin | random | split-keeper | laggard | leader
                | alternator | lookahead:<h> | \"(2,3,3,2,1)\" (paper notation)
 RULES <R>: always-adopt | always-keep | adopt-if-greater | alternate
+JOBS: --jobs 0 (default) = all cores, 1 = serial; results are identical at
+      every setting — only wall time changes.
 "
     .to_string()
 }
@@ -153,7 +159,101 @@ pub fn run(args: &Args) -> Result<String, String> {
     with_protocol!(args, run_one)
 }
 
-fn check_one<P: Protocol>(protocol: &P, args: &Args) -> Result<String, String> {
+fn sweep_one<P: Protocol + Sync + 'static>(protocol: &P, args: &Args) -> Result<String, String>
+where
+    P::State: 'static,
+    P::Reg: 'static,
+{
+    let inputs = parse_inputs(args.get_or("inputs", ""))?;
+    if inputs.len() != protocol.processes() {
+        return Err(format!(
+            "--inputs: expected {} values for {}, got {}",
+            protocol.processes(),
+            protocol.name(),
+            inputs.len()
+        ));
+    }
+    let trials = args.get_u64("trials", 1_000)?;
+    let root_seed = args.get_u64("seed", 0)?;
+    let max_steps = args.get_u64("max-steps", 1_000_000)?;
+    let jobs = args.get_u64("jobs", 0)? as usize;
+    let spec = args.get_or("adversary", "random");
+    // Validate the adversary spec once, up front, so a typo fails fast
+    // instead of panicking inside a worker.
+    make_adversary::<P>(spec, 0)?;
+    let sweep = TrialSweep::new(trials).root_seed(root_seed).jobs(jobs);
+    let effective = sweep.effective_jobs();
+    let stats = sweep.run(|trial| {
+        let adversary =
+            make_adversary::<P>(spec, trial.seed).expect("adversary spec validated above");
+        let out = Runner::new(protocol, &inputs, adversary)
+            .seed(trial.seed)
+            .max_steps(max_steps)
+            .run();
+        TrialResult::from_run(&out)
+    });
+    let mut s = String::new();
+    let _ = writeln!(s, "protocol : {}", protocol.name());
+    let _ = writeln!(
+        s,
+        "adversary: {spec}   root seed: {root_seed}   jobs: {effective}"
+    );
+    let _ = writeln!(
+        s,
+        "\ntrials: {}   decided: {}   undecided: {}   violations: {}",
+        stats.trials,
+        stats.decided,
+        stats.undecided,
+        stats.violations()
+    );
+    let _ = writeln!(
+        s,
+        "steps: mean {}   min {}   max {}",
+        stats
+            .mean()
+            .map(fnum)
+            .unwrap_or_else(|| "—".into()),
+        stats.metric_min().unwrap_or(0),
+        stats.metric_max().unwrap_or(0)
+    );
+    if let (Some(lo), Some(hi)) = (
+        stats.decided_by_k.keys().next(),
+        stats.decided_by_k.keys().next_back(),
+    ) {
+        let _ = writeln!(s, "decided-by-k support: {lo}..={hi} steps");
+    }
+    if stats.failures.is_empty() {
+        let _ = writeln!(s, "\nno safety violations in {} trials ✓", stats.trials);
+    } else {
+        let _ = writeln!(s, "\nfailing trials (replay with `cil run ... --trace`):");
+        for f in &stats.failures {
+            let seed = cil_sim::SplitMix64::jump(root_seed, f.trial).next_u64();
+            let _ = writeln!(
+                s,
+                "  trial {:>6}  {:?}  replay: cil run --protocol {} --inputs {} \
+                 --adversary {spec} --seed {seed} --max-steps {max_steps} --trace",
+                f.trial,
+                f.kind,
+                args.get_or("protocol", "two"),
+                args.get_or("inputs", ""),
+            );
+        }
+    }
+    Ok(s)
+}
+
+/// `cil sweep` — parallel Monte-Carlo trial sweep; results are a pure
+/// function of `(--seed, --trials)`, independent of `--jobs`.
+pub fn sweep(args: &Args) -> Result<String, String> {
+    with_protocol!(args, sweep_one)
+}
+
+fn check_one<P>(protocol: &P, args: &Args) -> Result<String, String>
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+    P::Reg: Send + Sync,
+{
     let inputs = parse_inputs(args.get_or("inputs", ""))?;
     if inputs.len() != protocol.processes() {
         return Err(format!(
@@ -164,10 +264,12 @@ fn check_one<P: Protocol>(protocol: &P, args: &Args) -> Result<String, String> {
     }
     let depth = args.get_u64("depth", 10)? as usize;
     let max_configs = args.get_u64("max-configs", 3_000_000)? as usize;
+    let jobs = args.get_u64("jobs", 0)? as usize;
     let report = Explorer::new(protocol, &inputs)
         .max_depth(depth)
         .max_configs(max_configs)
-        .run();
+        .jobs(jobs)
+        .par_run();
     Ok(format!(
         "exhaustive check of {} to depth {}\n{} configurations explored \
          (complete: {})\nviolations: {}\n{}",

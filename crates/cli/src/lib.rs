@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cil run       --protocol fig2 --inputs a,b,a --adversary random --seed 7 [--trace]
-//! cil check     --protocol fig3 --inputs a,b,a --depth 11
+//! cil sweep     --protocol fig2 --inputs a,b,a --trials 10000 --seed 7 --jobs 4
+//! cil check     --protocol fig3 --inputs a,b,a --depth 11 --jobs 4
 //! cil mdp       --inputs a,b [--kmax 20]
 //! cil theorem4  --rule always-adopt --steps 100000
 //! cil elect     --n 3 --rounds 10
@@ -37,6 +38,7 @@ pub fn dispatch<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, Str
     let args = Args::parse(tokens, &["trace", "literal"])?;
     match args.command.as_str() {
         "run" => commands::run(&args),
+        "sweep" => commands::sweep(&args),
         "check" => commands::check(&args),
         "mdp" => commands::mdp(&args),
         "theorem4" => commands::theorem4(&args),
@@ -61,7 +63,7 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let h = dispatch(toks("help")).unwrap();
-        for c in ["run", "check", "mdp", "theorem4", "elect", "threads"] {
+        for c in ["run", "sweep", "check", "mdp", "theorem4", "elect", "threads", "--jobs"] {
             assert!(h.contains(c), "help missing {c}");
         }
     }
@@ -126,6 +128,61 @@ mod tests {
         let out = dispatch(toks("check --protocol two --inputs a,b")).unwrap();
         assert!(out.contains("configurations"), "{out}");
         assert!(out.contains("violations: 0"), "{out}");
+    }
+
+    #[test]
+    fn check_is_jobs_invariant() {
+        let serial = dispatch(toks("check --protocol two --inputs a,b --jobs 1")).unwrap();
+        let par = dispatch(toks("check --protocol two --inputs a,b --jobs 4")).unwrap();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn sweep_reports_stats_and_is_jobs_invariant() {
+        let serial =
+            dispatch(toks("sweep --protocol two --inputs a,b --trials 200 --seed 9 --jobs 1"))
+                .unwrap();
+        assert!(serial.contains("trials: 200"), "{serial}");
+        assert!(serial.contains("decided: 200"), "{serial}");
+        assert!(serial.contains("violations: 0"), "{serial}");
+        assert!(serial.contains("no safety violations"), "{serial}");
+        for jobs in [2, 8] {
+            let par = dispatch(
+                toks(&format!(
+                    "sweep --protocol two --inputs a,b --trials 200 --seed 9 --jobs {jobs}"
+                )),
+            )
+            .unwrap();
+            // Identical output except the reported worker count.
+            let strip = |s: &str| {
+                s.replace(&format!("jobs: {jobs}"), "jobs: X")
+                    .replace("jobs: 1", "jobs: X")
+            };
+            assert_eq!(strip(&serial), strip(&par), "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_adversary_before_spawning() {
+        let e = dispatch(toks("sweep --protocol two --inputs a,b --adversary bogus"))
+            .unwrap_err();
+        assert!(e.contains("adversary"), "{e}");
+    }
+
+    #[test]
+    fn sweep_every_protocol_spec_is_clean() {
+        for p in ["two", "fig2", "fig2-1w1r", "fig3", "n:4", "kvalued:4"] {
+            let inputs = match p {
+                "two" | "kvalued:4" => "0,1",
+                "n:4" => "a,b,a,b",
+                _ => "a,b,a",
+            };
+            let out = dispatch(
+                toks(&format!("sweep --protocol {p} --inputs {inputs} --trials 50")),
+            )
+            .unwrap_or_else(|e| panic!("{p}: {e}"));
+            assert!(out.contains("violations: 0"), "{p}: {out}");
+        }
     }
 
     #[test]

@@ -17,9 +17,11 @@
 use crate::config::{successors, Config};
 use cil_sim::{Protocol, Val};
 use std::collections::{HashSet, VecDeque};
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A safety violation found during exploration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Violation {
     /// Two processors decided differently.
     Inconsistent {
@@ -45,7 +47,7 @@ pub enum Violation {
 }
 
 /// Result of an exploration.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Number of distinct configurations visited.
     pub explored: usize,
@@ -71,8 +73,9 @@ pub struct Explorer<'p, P: Protocol> {
     inputs: Vec<Val>,
     max_depth: usize,
     max_configs: usize,
+    jobs: usize,
     #[allow(clippy::type_complexity)]
-    invariant: Option<Box<dyn Fn(&Config<P>) -> Result<(), String> + 'p>>,
+    invariant: Option<Box<dyn Fn(&Config<P>) -> Result<(), String> + Send + Sync + 'p>>,
 }
 
 impl<'p, P: Protocol> Explorer<'p, P> {
@@ -83,6 +86,7 @@ impl<'p, P: Protocol> Explorer<'p, P> {
             inputs: inputs.to_vec(),
             max_depth: usize::MAX,
             max_configs: 5_000_000,
+            jobs: 0,
             invariant: None,
         }
     }
@@ -100,10 +104,18 @@ impl<'p, P: Protocol> Explorer<'p, P> {
         self
     }
 
+    /// Sets the worker count used by [`Explorer::par_run`]; `0` (the
+    /// default) means available parallelism, `1` falls back to the serial
+    /// [`Explorer::run`].
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     /// Adds an invariant checked on every visited configuration.
     pub fn check_invariant(
         mut self,
-        f: impl Fn(&Config<P>) -> Result<(), String> + 'p,
+        f: impl Fn(&Config<P>) -> Result<(), String> + Send + Sync + 'p,
     ) -> Self {
         self.invariant = Some(Box::new(f));
         self
@@ -174,6 +186,228 @@ impl<'p, P: Protocol> Explorer<'p, P> {
             complete,
             max_depth: max_depth_seen,
         }
+    }
+
+    /// Runs the exploration across a worker pool, producing the **exact**
+    /// [`Report`] the serial [`Explorer::run`] would — same `explored`
+    /// count, same violations in the same order, same `complete` flag —
+    /// at any worker count.
+    ///
+    /// The BFS is level-synchronized. Within a level the expensive work
+    /// (decision values, invariant evaluation, successor generation — all
+    /// pure functions of a configuration) is fanned out over workers that
+    /// claim fixed-size chunks of the frontier from a shared atomic cursor
+    /// (deterministic work-stealing: the claim order varies, the per-index
+    /// results do not). The seen-set is a [`ShardedSeen`] keyed by config
+    /// hash: read-only during the parallel phase (workers pre-screen
+    /// successors against the level-start snapshot), mutated only in the
+    /// sequential merge that walks the frontier in index order, replaying
+    /// the serial queue discipline — including the violation cap, the
+    /// depth bound, and the `max_configs` cutoff — bit for bit.
+    pub fn par_run(self) -> Report
+    where
+        P: Sync,
+        P::State: Send + Sync,
+        P::Reg: Send + Sync,
+    {
+        let jobs = cil_sim::resolve_jobs(self.jobs);
+        if jobs <= 1 {
+            return self.run();
+        }
+
+        let protocol = self.protocol;
+        let init = Config::initial(protocol, &self.inputs);
+        let mut seen: ShardedSeen<P> = ShardedSeen::new();
+        let mut violations = Vec::new();
+        let mut complete = true;
+        let mut max_depth_seen = 0;
+        seen.insert(init.clone());
+        let mut frontier: Vec<Config<P>> = vec![init];
+        let mut depth = 0usize;
+
+        'levels: while !frontier.is_empty() {
+            let expand = depth < self.max_depth;
+            let expanded = expand_level(
+                protocol,
+                &frontier,
+                &seen,
+                self.invariant.as_deref(),
+                expand,
+                jobs,
+            );
+
+            // Sequential merge in frontier order: identical to the serial
+            // loop popping these configurations from its queue.
+            let mut next: Vec<Config<P>> = Vec::new();
+            for (idx, exp) in expanded.into_iter().enumerate() {
+                max_depth_seen = max_depth_seen.max(depth);
+                if exp.dvals.len() > 1 {
+                    violations.push(Violation::Inconsistent {
+                        values: exp.dvals.clone(),
+                        depth,
+                    });
+                }
+                for v in &exp.dvals {
+                    let ok = self.inputs.iter().enumerate().any(|(i, inp)| {
+                        frontier[idx].active & (1 << i) != 0 && inp == v
+                    });
+                    if !ok {
+                        violations.push(Violation::Trivial { value: *v, depth });
+                    }
+                }
+                if let Some(message) = exp.inv_err {
+                    violations.push(Violation::Invariant { message, depth });
+                }
+                if violations.len() > 100 {
+                    complete = false;
+                    break 'levels;
+                }
+                if !expand {
+                    complete = false;
+                    continue;
+                }
+                for succ in exp.succs {
+                    if seen.len() >= self.max_configs {
+                        complete = false;
+                        continue;
+                    }
+                    // `None` marks a successor the parallel phase already
+                    // found in the level-start snapshot: the serial insert
+                    // would return false, but its cap check (above) still
+                    // runs.
+                    if let Some(succ) = succ {
+                        if seen.insert(succ.clone()) {
+                            next.push(succ);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            depth += 1;
+        }
+
+        Report {
+            explored: seen.len(),
+            violations,
+            complete,
+            max_depth: max_depth_seen,
+        }
+    }
+}
+
+/// Per-configuration results of the parallel phase: everything the merge
+/// needs, computed as pure functions of the configuration.
+struct Expanded<P: Protocol> {
+    dvals: Vec<Val>,
+    inv_err: Option<String>,
+    /// Successors in the serial generation order (eligible pid ascending,
+    /// then branch order). `None` = already present in the level-start
+    /// seen snapshot.
+    succs: Vec<Option<Config<P>>>,
+}
+
+/// Chunk of frontier indices a worker claims per fetch.
+const CLAIM_CHUNK: usize = 32;
+
+#[allow(clippy::type_complexity)]
+fn expand_level<P>(
+    protocol: &P,
+    frontier: &[Config<P>],
+    seen: &ShardedSeen<P>,
+    invariant: Option<&(dyn Fn(&Config<P>) -> Result<(), String> + Send + Sync)>,
+    expand: bool,
+    jobs: usize,
+) -> Vec<Expanded<P>>
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+    P::Reg: Send + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let mut gathered: Vec<(usize, Expanded<P>)> = Vec::with_capacity(frontier.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                        if start >= frontier.len() {
+                            break;
+                        }
+                        let end = (start + CLAIM_CHUNK).min(frontier.len());
+                        for (idx, cfg) in frontier.iter().enumerate().take(end).skip(start) {
+                            let dvals = cfg.decision_values(protocol);
+                            let inv_err = invariant.and_then(|inv| inv(cfg).err());
+                            let mut succs = Vec::new();
+                            if expand {
+                                for pid in cfg.eligible(protocol) {
+                                    for (_, succ) in successors(protocol, cfg, pid) {
+                                        succs.push(if seen.contains(&succ) {
+                                            None
+                                        } else {
+                                            Some(succ)
+                                        });
+                                    }
+                                }
+                            }
+                            out.push((idx, Expanded { dvals, inv_err, succs }));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            gathered.extend(handle.join().expect("exploration worker panicked"));
+        }
+    });
+    gathered.sort_by_key(|(idx, _)| *idx);
+    gathered.into_iter().map(|(_, exp)| exp).collect()
+}
+
+/// A seen-set sharded by configuration hash.
+///
+/// During a level's parallel phase workers hold a shared reference and do
+/// lock-free membership pre-checks against the level-start snapshot; all
+/// mutation happens in the sequential merge phase through `&mut self`, so
+/// no locks are needed in either phase.
+struct ShardedSeen<P: Protocol> {
+    shards: Vec<HashSet<Config<P>>>,
+    len: usize,
+}
+
+const SHARDS: usize = 64;
+
+impl<P: Protocol> ShardedSeen<P> {
+    fn new() -> Self {
+        ShardedSeen {
+            shards: (0..SHARDS).map(|_| HashSet::new()).collect(),
+            len: 0,
+        }
+    }
+
+    fn shard_of(cfg: &Config<P>) -> usize {
+        let hasher = BuildHasherDefault::<DefaultHasher>::default();
+        // Spread the hash's high bits over the shard index; HashSet uses
+        // the low bits for its buckets.
+        (hasher.hash_one(cfg) >> (64 - 6)) as usize % SHARDS
+    }
+
+    fn contains(&self, cfg: &Config<P>) -> bool {
+        self.shards[Self::shard_of(cfg)].contains(cfg)
+    }
+
+    fn insert(&mut self, cfg: Config<P>) -> bool {
+        let fresh = self.shards[Self::shard_of(&cfg)].insert(cfg);
+        if fresh {
+            self.len += 1;
+        }
+        fresh
+    }
+
+    fn len(&self) -> usize {
+        self.len
     }
 }
 
@@ -279,5 +513,75 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v, Violation::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn par_run_matches_serial_exactly() {
+        for jobs in [2, 3, 8] {
+            for inputs in [[Val::A, Val::B], [Val::A, Val::A]] {
+                let p = TwoProcessor::new();
+                let serial = Explorer::new(&p, &inputs).run();
+                let par = Explorer::new(&p, &inputs).jobs(jobs).par_run();
+                assert_eq!(serial, par, "jobs = {jobs}, inputs = {inputs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_run_matches_serial_on_broken_protocol() {
+        // Violations must come back in the same order with the same cap
+        // behavior.
+        let serial = Explorer::new(&DecideOwn, &[Val::A, Val::B]).run();
+        let par = Explorer::new(&DecideOwn, &[Val::A, Val::B])
+            .jobs(4)
+            .par_run();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn par_run_matches_serial_under_bounds() {
+        let p = TwoProcessor::new();
+        // Depth bound.
+        let serial = Explorer::new(&p, &[Val::A, Val::B]).max_depth(3).run();
+        let par = Explorer::new(&p, &[Val::A, Val::B])
+            .max_depth(3)
+            .jobs(4)
+            .par_run();
+        assert_eq!(serial, par);
+        // Config-count bound small enough to trip mid-level.
+        let serial = Explorer::new(&p, &[Val::A, Val::B]).max_configs(20).run();
+        let par = Explorer::new(&p, &[Val::A, Val::B])
+            .max_configs(20)
+            .jobs(4)
+            .par_run();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn par_run_matches_serial_with_invariant() {
+        let p = TwoProcessor::new();
+        let inv = |cfg: &Config<TwoProcessor>| {
+            if cfg.active == 0b11 {
+                Err("both stepped".into())
+            } else {
+                Ok(())
+            }
+        };
+        let serial = Explorer::new(&p, &[Val::A, Val::B])
+            .check_invariant(inv)
+            .run();
+        let par = Explorer::new(&p, &[Val::A, Val::B])
+            .check_invariant(inv)
+            .jobs(8)
+            .par_run();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn par_run_with_one_job_is_the_serial_path() {
+        let p = TwoProcessor::new();
+        let serial = Explorer::new(&p, &[Val::A, Val::B]).run();
+        let par = Explorer::new(&p, &[Val::A, Val::B]).jobs(1).par_run();
+        assert_eq!(serial, par);
     }
 }

@@ -36,6 +36,10 @@ pub struct Chooser {
     /// `(chosen, arity)` per choice point, in scenario order.
     script: Vec<(usize, usize)>,
     pos: usize,
+    /// Choice points `0..floor` are pinned: [`Chooser::advance`] never pops
+    /// below them. [`explore_par`] pins the root choice so each worker
+    /// enumerates exactly one root subtree.
+    floor: usize,
 }
 
 impl Chooser {
@@ -65,10 +69,12 @@ impl Chooser {
         }
     }
 
-    /// Advances the script to the lexicographically next leaf.
-    /// Returns `false` when the tree is exhausted.
+    /// Advances the script to the lexicographically next leaf (within the
+    /// pinned prefix, if any). Returns `false` when the (sub)tree is
+    /// exhausted.
     fn advance(&mut self) -> bool {
-        while let Some((chosen, arity)) = self.script.pop() {
+        while self.script.len() > self.floor {
+            let (chosen, arity) = self.script.pop().expect("len > floor");
             if chosen + 1 < arity {
                 self.script.push((chosen + 1, arity));
                 return true;
@@ -99,6 +105,115 @@ pub fn explore<F: FnMut(&mut Chooser)>(max_leaves: usize, mut scenario: F) -> us
             return leaves;
         }
     }
+}
+
+/// Runs `scenario` once per leaf across a worker pool, counting leaves and
+/// leaves the scenario flags (e.g. checker violations).
+///
+/// Workers claim root-choice branches from a shared cursor and enumerate
+/// each claimed subtree with a [`Chooser`] whose root choice is pinned, so
+/// the union of subtrees is exactly the serial [`explore`] tree and the
+/// returned `(leaves, flagged)` counts equal the serial ones at any worker
+/// count — provided the tree has fewer than `max_leaves` leaves. (If the
+/// guard trips, the counts still total `max_leaves` but *which* leaves ran
+/// depends on scheduling; treat the guard as a runaway brake, not a
+/// sampling mechanism.) `jobs = 0` means available parallelism, `1` runs on
+/// the calling thread.
+///
+/// Unlike [`explore`]'s `FnMut` closure, the scenario here is a shared
+/// `Fn`: per-leaf state belongs inside the closure, and the one bit it may
+/// report out per leaf is the return value.
+pub fn explore_par<F>(max_leaves: usize, jobs: usize, scenario: F) -> (usize, u64)
+where
+    F: Fn(&mut Chooser) -> bool + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+
+    // Probe the root choice point's arity (replaying leaf 0 of branch 0;
+    // its counts are discarded and branch 0's worker re-runs it).
+    let mut probe = Chooser::default();
+    let probe_flag = scenario(&mut probe);
+    if probe.script.is_empty() {
+        // No choice points: a single leaf, already run.
+        return (1, u64::from(probe_flag));
+    }
+    let root_arity = probe.script[0].1;
+    drop(probe);
+
+    let enumerate_branch = |branch: usize, budget: &AtomicUsize| -> (usize, u64) {
+        let mut ch = Chooser {
+            script: vec![(branch, root_arity)],
+            pos: 0,
+            floor: 1,
+        };
+        let mut leaves = 0usize;
+        let mut flagged = 0u64;
+        loop {
+            if budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_err()
+            {
+                break;
+            }
+            ch.rewind();
+            if scenario(&mut ch) {
+                flagged += 1;
+            }
+            leaves += 1;
+            if !ch.advance() {
+                break;
+            }
+        }
+        (leaves, flagged)
+    };
+
+    let budget = AtomicUsize::new(max_leaves);
+    if jobs <= 1 {
+        let mut totals = (0usize, 0u64);
+        for branch in 0..root_arity {
+            let (l, f) = enumerate_branch(branch, &budget);
+            totals.0 += l;
+            totals.1 += f;
+        }
+        return totals;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let workers = jobs.min(root_arity);
+    let mut totals = (0usize, 0u64);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = (0usize, 0u64);
+                    loop {
+                        let branch = cursor.fetch_add(1, Ordering::Relaxed);
+                        if branch >= root_arity {
+                            break;
+                        }
+                        let (l, f) = enumerate_branch(branch, &budget);
+                        local.0 += l;
+                        local.1 += f;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (l, f) = handle.join().expect("exploration worker panicked");
+            totals.0 += l;
+            totals.1 += f;
+        }
+    });
+    totals
 }
 
 #[cfg(test)]
@@ -144,6 +259,44 @@ mod tests {
             ch.choose(4);
         });
         assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn parallel_counts_match_serial_at_any_worker_count() {
+        // A lopsided, data-dependent tree with flagged leaves.
+        let scenario_leaves = |ch: &mut Chooser| -> bool {
+            let a = ch.choose(3);
+            let b = if a == 1 { ch.choose(4) } else { ch.choose(2) };
+            let c = ch.choose(2);
+            a == 1 && b == 2 && c == 1
+        };
+        let mut serial_flagged = 0u64;
+        let serial_leaves = explore(usize::MAX, |ch| {
+            if scenario_leaves(ch) {
+                serial_flagged += 1;
+            }
+        });
+        for jobs in [1, 2, 3, 8] {
+            let (leaves, flagged) = explore_par(usize::MAX, jobs, scenario_leaves);
+            assert_eq!(leaves, serial_leaves, "jobs = {jobs}");
+            assert_eq!(flagged, serial_flagged, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_choiceless_scenarios() {
+        let (leaves, flagged) = explore_par(usize::MAX, 4, |_ch| true);
+        assert_eq!((leaves, flagged), (1, 1));
+    }
+
+    #[test]
+    fn parallel_respects_leaf_budget() {
+        let (leaves, _) = explore_par(5, 2, |ch| {
+            ch.choose(4);
+            ch.choose(4);
+            false
+        });
+        assert_eq!(leaves, 5);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   heuristics;
 //! * [`executor`] — the serialized run loop ([`Runner`]) with crash
 //!   injection ([`faults`]) and trace recording ([`trace`]);
+//! * [`sweep`] — the parallel Monte-Carlo harness ([`TrialSweep`]), whose
+//!   statistics are independent of worker count by construction;
 //! * [`threads`] — real-OS-thread execution over `AtomicU64` registers,
 //!   demonstrating the paper's implementability claim.
 //!
@@ -60,6 +62,7 @@ pub mod fairness;
 pub mod faults;
 pub mod protocol;
 pub mod rng;
+pub mod sweep;
 pub mod threads;
 pub mod trace;
 
@@ -72,5 +75,8 @@ pub use fairness::{is_k_fair, starvation_gaps, Alternator, PrefixThen};
 pub use faults::CrashPlan;
 pub use protocol::{Choice, Op, Protocol, Val};
 pub use rng::{Rng, ScriptedCoins, SplitMix64, Xoshiro256StarStar};
+pub use sweep::{
+    resolve_jobs, FailureSample, SweepStats, Trial, TrialOutcome, TrialResult, TrialSweep,
+};
 pub use threads::{run_on_threads, ThreadOutcome};
 pub use trace::{parse_schedule, Event, Trace};

@@ -77,6 +77,20 @@ impl SplitMix64 {
     pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
+
+    /// The generator's state after `n` draws from `SplitMix64::new(seed)`,
+    /// computed in O(1).
+    ///
+    /// Each draw advances the internal state by the golden-ratio increment
+    /// and only then mixes, so the state after `n` draws is a single
+    /// multiply-add away from the seed. This is what lets the parallel sweep
+    /// hand any trial its own derived stream without replaying the trials
+    /// before it.
+    pub fn jump(seed: u64, n: u64) -> Self {
+        SplitMix64 {
+            state: seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
 }
 
 impl Rng for SplitMix64 {
@@ -119,6 +133,20 @@ impl Xoshiro256StarStar {
     pub fn fork(&mut self) -> Self {
         let seed = self.next_u64();
         Xoshiro256StarStar::new(seed)
+    }
+
+    /// The `index`-th generator in the family derived from `root_seed`,
+    /// in O(1).
+    ///
+    /// Equivalent to seeding a [`SplitMix64`] with `root_seed` and taking
+    /// its `index`-th fork — i.e. `Xoshiro256StarStar::new` on the
+    /// `index + 1`-th SplitMix64 output — but without replaying the stream,
+    /// thanks to [`SplitMix64::jump`]. The parallel sweep uses this so a
+    /// trial's randomness depends only on `(root_seed, index)`, never on
+    /// which worker thread runs it or in what order.
+    pub fn stream(root_seed: u64, index: u64) -> Self {
+        let mut sm = SplitMix64::jump(root_seed, index);
+        Xoshiro256StarStar::new(sm.next_u64())
     }
 }
 
@@ -249,6 +277,40 @@ mod tests {
         assert!(counts[1] > counts[0]);
         let ratio = f64::from(counts[1]) / f64::from(counts[0]);
         assert!((1.8..2.2).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn jump_matches_sequential_draws() {
+        for n in [0u64, 1, 2, 17, 1000] {
+            let mut seq = SplitMix64::new(987);
+            for _ in 0..n {
+                seq.next_u64();
+            }
+            assert_eq!(SplitMix64::jump(987, n), seq, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn stream_matches_splitmix_fork_chain() {
+        let mut parent = SplitMix64::new(31337);
+        for index in 0..20 {
+            let forked = Xoshiro256StarStar::new(parent.next_u64());
+            assert_eq!(
+                Xoshiro256StarStar::stream(31337, index),
+                forked,
+                "index = {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn streams_are_pairwise_distinct() {
+        let mut outputs: Vec<u64> = (0..100)
+            .map(|i| Xoshiro256StarStar::stream(5, i).next_u64())
+            .collect();
+        outputs.sort_unstable();
+        outputs.dedup();
+        assert_eq!(outputs.len(), 100);
     }
 
     #[test]

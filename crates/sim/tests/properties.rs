@@ -108,20 +108,19 @@ proptest! {
     }
 }
 
-/// Cross-check of the in-repo PRNG against the `rand` crate: both must pass
+/// Cross-check of the two in-repo PRNGs against each other: both must pass
 /// the same frequency bound on coin flips, so a statistical regression in
-/// our generator would stand out against the reference.
+/// either generator would stand out against the other.
 #[test]
-fn coin_fairness_matches_rand_reference() {
-    use rand::{Rng as _, SeedableRng};
+fn coin_fairness_matches_splitmix_reference() {
     let n = 100_000u32;
     let band = 48_500..51_500;
 
     let mut ours = Xoshiro256StarStar::new(2024);
     let ours_heads = (0..n).filter(|_| ours.coin()).count();
-    assert!(band.contains(&ours_heads), "ours: {ours_heads}");
+    assert!(band.contains(&ours_heads), "xoshiro: {ours_heads}");
 
-    let mut reference = rand::rngs::StdRng::seed_from_u64(2024);
+    let mut reference = SplitMix64::new(2024);
     let ref_heads = (0..n).filter(|_| reference.next_u64() >> 63 == 1).count();
-    assert!(band.contains(&ref_heads), "rand: {ref_heads}");
+    assert!(band.contains(&ref_heads), "splitmix: {ref_heads}");
 }

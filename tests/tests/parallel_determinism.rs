@@ -1,0 +1,113 @@
+//! Determinism contract of the parallel trial sweep.
+//!
+//! A sweep's statistics are a pure function of `(root_seed, trials)` and
+//! the trial closure — byte-identical (`SweepStats::digest`) no matter how
+//! many workers ran it — and every retained failure sample replays
+//! bit-for-bit from its trial index alone.
+
+use cil_core::n_unbounded::NUnbounded;
+use cil_core::three_bounded::{BoundedOptions, ThreeBounded};
+use cil_sim::{RandomScheduler, Runner, SweepStats, Trial, TrialResult, TrialSweep, Val};
+
+fn fig2_trial(p: &NUnbounded, inputs: &[Val], trial: Trial) -> TrialResult {
+    // New-style seeding: everything derives from the sweep's root seed
+    // through `trial.seed`.
+    let out = Runner::new(p, inputs, RandomScheduler::new(trial.seed))
+        .seed(trial.seed)
+        .max_steps(200_000)
+        .run();
+    TrialResult::from_run(&out)
+}
+
+#[test]
+fn sweep_stats_are_byte_identical_across_worker_counts() {
+    let p = NUnbounded::three();
+    let inputs = [Val::A, Val::B, Val::A];
+    let base = TrialSweep::new(400).root_seed(2024);
+    let serial = base.clone().jobs(1).run(|t| fig2_trial(&p, &inputs, t));
+    assert_eq!(serial.trials, 400);
+    assert_eq!(serial.decided, 400, "faithful Fig. 2 always decides");
+    assert_eq!(serial.violations(), 0);
+    for jobs in [2, 8] {
+        let par = base.clone().jobs(jobs).run(|t| fig2_trial(&p, &inputs, t));
+        assert_eq!(serial, par, "jobs = {jobs}");
+        assert_eq!(serial.digest(), par.digest(), "jobs = {jobs}");
+    }
+}
+
+#[test]
+fn different_root_seeds_give_different_trial_randomness() {
+    let p = NUnbounded::three();
+    let inputs = [Val::A, Val::B, Val::A];
+    let a = TrialSweep::new(200)
+        .root_seed(1)
+        .run(|t| fig2_trial(&p, &inputs, t));
+    let b = TrialSweep::new(200)
+        .root_seed(2)
+        .run(|t| fig2_trial(&p, &inputs, t));
+    assert_ne!(a.digest(), b.digest());
+    assert_eq!(a.violations() + b.violations(), 0);
+}
+
+/// The Fig. 3 variant with the "2 steps apart" decision gap shrunk to 1 —
+/// EXP-10 shows it violates consistency within a few hundred random-schedule
+/// runs. Seeds follow the historical convention (`trial.index` is the run
+/// seed), so the sweep reproduces the serial experiment loop exactly.
+fn gap1_sweep(jobs: usize) -> SweepStats {
+    let p = ThreeBounded::with_options(BoundedOptions {
+        decide_gap: 1,
+        ..BoundedOptions::default()
+    });
+    let inputs = [Val::A, Val::B, Val::A];
+    TrialSweep::new(600).jobs(jobs).run(|trial| {
+        let seed = trial.index;
+        let out = Runner::new(&p, &inputs, RandomScheduler::new(seed))
+            .seed(seed ^ 0xAB1A7E)
+            .max_steps(200_000)
+            .record_trace(true)
+            .run();
+        TrialResult::from_run(&out)
+    })
+}
+
+#[test]
+fn broken_protocol_failures_replay_identically_at_any_worker_count() {
+    let serial = gap1_sweep(1);
+    assert!(
+        serial.violations() >= 1,
+        "gap-1 Fig. 3 should violate consistency within 600 runs"
+    );
+    assert!(!serial.failures.is_empty());
+    for jobs in [2, 8] {
+        let par = gap1_sweep(jobs);
+        assert_eq!(serial, par, "jobs = {jobs}");
+        assert_eq!(serial.digest(), par.digest(), "jobs = {jobs}");
+    }
+
+    // Replay every retained failure from its trial index alone: the re-run
+    // must fail the same way with the exact same schedule.
+    let p = ThreeBounded::with_options(BoundedOptions {
+        decide_gap: 1,
+        ..BoundedOptions::default()
+    });
+    let inputs = [Val::A, Val::B, Val::A];
+    for f in &serial.failures {
+        let out = Runner::new(&p, &inputs, RandomScheduler::new(f.trial))
+            .seed(f.trial ^ 0xAB1A7E)
+            .max_steps(200_000)
+            .record_trace(true)
+            .run();
+        assert!(
+            !out.consistent() || !out.nontrivial(),
+            "trial {} no longer fails on replay",
+            f.trial
+        );
+        let replayed = out.trace.expect("trace was recorded").schedule();
+        assert_eq!(
+            Some(&replayed),
+            f.schedule.as_ref(),
+            "trial {} replayed a different schedule",
+            f.trial
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-validation of the parallel state explorer against the serial one:
+//! `Explorer::par_run` must produce the *same* `Report` — configurations
+//! visited, completeness, depth, violations in order — as `Explorer::run`,
+//! and both must agree with the valence analysis on how many explored
+//! configurations are bivalent.
+
+use cil_core::deterministic::{DetRule, DetTwo};
+use cil_core::three_bounded::ThreeBounded;
+use cil_core::two::TwoProcessor;
+use cil_mc::explore::Explorer;
+use cil_mc::valence::ValenceMap;
+use cil_sim::Val;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn depth(release: usize) -> usize {
+    if cfg!(debug_assertions) {
+        release.saturating_sub(4)
+    } else {
+        release
+    }
+}
+
+#[test]
+fn par_run_matches_serial_on_two_processor() {
+    let p = TwoProcessor::new();
+    let inputs = [Val::A, Val::B];
+    let serial = Explorer::new(&p, &inputs).max_depth(depth(16)).run();
+    for jobs in [2, 4, 8] {
+        let par = Explorer::new(&p, &inputs)
+            .max_depth(depth(16))
+            .jobs(jobs)
+            .par_run();
+        assert_eq!(serial, par, "jobs = {jobs}");
+    }
+    assert!(serial.safe());
+    // The two-processor protocol's reachable space is tiny (37 configs) and
+    // fully exhausted within the depth bound.
+    assert!(serial.complete);
+    assert!(serial.explored > 20);
+}
+
+#[test]
+fn par_run_matches_serial_on_three_bounded() {
+    let p = ThreeBounded::new();
+    let inputs = [Val::A, Val::B, Val::A];
+    let serial = Explorer::new(&p, &inputs)
+        .max_depth(depth(11))
+        .max_configs(6_000_000)
+        .run();
+    let par = Explorer::new(&p, &inputs)
+        .max_depth(depth(11))
+        .max_configs(6_000_000)
+        .jobs(4)
+        .par_run();
+    assert_eq!(serial, par);
+    assert!(serial.safe());
+}
+
+#[test]
+fn par_run_matches_serial_under_a_tight_config_cap() {
+    // The mid-level cap is the trickiest semantic to replicate: the serial
+    // walk stops counting successors the moment the cap trips. The parallel
+    // merge must land on the identical truncation.
+    let p = ThreeBounded::new();
+    let inputs = [Val::B, Val::A, Val::A];
+    for cap in [10usize, 137, 1000] {
+        let serial = Explorer::new(&p, &inputs)
+            .max_depth(30)
+            .max_configs(cap)
+            .run();
+        let par = Explorer::new(&p, &inputs)
+            .max_depth(30)
+            .max_configs(cap)
+            .jobs(4)
+            .par_run();
+        assert_eq!(serial, par, "cap = {cap}");
+        assert!(!serial.complete);
+    }
+}
+
+#[test]
+fn par_run_reports_the_same_violations_as_serial() {
+    // The copycat victim decides trivially under some schedules; both
+    // explorers must find the identical violation list (order included).
+    let p = DetTwo::new(DetRule::AlwaysAdopt);
+    let inputs = [Val::A, Val::A];
+    let serial = Explorer::new(&p, &inputs).max_depth(depth(14)).run();
+    let par = Explorer::new(&p, &inputs)
+        .max_depth(depth(14))
+        .jobs(4)
+        .par_run();
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn bivalent_census_is_identical_serial_and_parallel() {
+    // Count bivalent configurations among the explored set via an invariant
+    // hook (evaluated exactly once per distinct configuration in both
+    // modes), cross-checked against the exact valence analysis. The valence
+    // map requires a deterministic protocol, so use the Theorem 4 victim.
+    let p = DetTwo::new(DetRule::AlwaysAdopt);
+    let inputs = [Val::A, Val::B];
+    let map = ValenceMap::build(&p, &inputs, 1_000_000);
+    let census = |jobs: usize| {
+        let bivalent = AtomicUsize::new(0);
+        let total = AtomicUsize::new(0);
+        let report = Explorer::new(&p, &inputs)
+            .max_depth(depth(14))
+            .jobs(jobs)
+            .check_invariant(|cfg| {
+                total.fetch_add(1, Ordering::Relaxed);
+                if map.is_bivalent(cfg) {
+                    bivalent.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            })
+            .par_run();
+        (
+            report,
+            bivalent.load(Ordering::Relaxed),
+            total.load(Ordering::Relaxed),
+        )
+    };
+    let (serial_report, serial_bivalent, serial_total) = census(1);
+    let (par_report, par_bivalent, par_total) = census(8);
+    assert_eq!(serial_report, par_report);
+    assert_eq!(serial_bivalent, par_bivalent);
+    assert_eq!(serial_total, par_total);
+    // The initial configuration with split inputs is bivalent (the paper's
+    // Lemma 2 situation), so the census is non-trivial.
+    assert!(serial_bivalent > 0, "expected bivalent configs");
+    assert_eq!(serial_total, serial_report.explored);
+}
