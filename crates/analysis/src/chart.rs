@@ -43,7 +43,11 @@ pub fn ascii_series(
         .collect();
     let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+    let span = if (hi - lo).abs() < 1e-12 {
+        1.0
+    } else {
+        hi - lo
+    };
     let row_of = |v: f64| -> Option<usize> {
         if scale == Scale::Log && v <= 0.0 {
             return None;
@@ -108,7 +112,13 @@ mod tests {
 
     #[test]
     fn renders_expected_dimensions() {
-        let s = ascii_series(("measured", None), &[1.0, 0.5, 0.25], None, 5, Scale::Linear);
+        let s = ascii_series(
+            ("measured", None),
+            &[1.0, 0.5, 0.25],
+            None,
+            5,
+            Scale::Linear,
+        );
         // 5 grid rows + axis + legend.
         assert_eq!(s.lines().count(), 7);
         assert!(s.contains('*'));
@@ -126,10 +136,7 @@ mod tests {
 
     #[test]
     fn empty_series_render_nothing() {
-        assert_eq!(
-            ascii_series(("x", None), &[], None, 5, Scale::Linear),
-            ""
-        );
+        assert_eq!(ascii_series(("x", None), &[], None, 5, Scale::Linear), "");
     }
 
     #[test]

@@ -63,7 +63,9 @@ mod tests {
 
     #[test]
     fn exact_line_is_recovered() {
-        let pts: Vec<(f64, f64)> = (0..10).map(|i| (f64::from(i), 3.0 * f64::from(i) - 2.0)).collect();
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|i| (f64::from(i), 3.0 * f64::from(i) - 2.0))
+            .collect();
         let (s, c) = linear_fit(&pts).unwrap();
         assert!((s - 3.0).abs() < 1e-12);
         assert!((c + 2.0).abs() < 1e-12);

@@ -54,11 +54,7 @@ impl TailEstimator {
         if self.n == 0 {
             return 0.0;
         }
-        let tail: u64 = self
-            .counts
-            .iter()
-            .skip(k as usize)
-            .sum();
+        let tail: u64 = self.counts.iter().skip(k as usize).sum();
         tail as f64 / self.n as f64
     }
 
@@ -66,10 +62,18 @@ impl TailEstimator {
     pub fn survival_curve(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.counts.len() + 1);
         let mut tail: u64 = self.counts.iter().sum();
-        out.push(if self.n == 0 { 0.0 } else { tail as f64 / self.n as f64 });
+        out.push(if self.n == 0 {
+            0.0
+        } else {
+            tail as f64 / self.n as f64
+        });
         for &c in &self.counts {
             tail -= c;
-            out.push(if self.n == 0 { 0.0 } else { tail as f64 / self.n as f64 });
+            out.push(if self.n == 0 {
+                0.0
+            } else {
+                tail as f64 / self.n as f64
+            });
         }
         out
     }

@@ -83,18 +83,20 @@ fn bench_lookahead(c: &mut Criterion) {
     c.bench_function("adversary/lookahead3_full_consensus", |b| {
         b.iter(|| {
             seed += 1;
-            let out = Runner::new(
-                &p,
-                &inputs,
-                cil_mc::LookaheadAdversary::new(3),
-            )
-            .seed(seed)
-            .max_steps(1_000_000)
-            .run();
+            let out = Runner::new(&p, &inputs, cil_mc::LookaheadAdversary::new(3))
+                .seed(seed)
+                .max_steps(1_000_000)
+                .run();
             black_box(out.total_steps)
         })
     });
 }
 
-criterion_group!(benches, bench_scaling, bench_kvalued, bench_variants, bench_lookahead);
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_kvalued,
+    bench_variants,
+    bench_lookahead
+);
 criterion_main!(benches);

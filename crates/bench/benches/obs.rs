@@ -1,0 +1,142 @@
+//! Criterion benches for the observability layer (`cil-obs`): the cost of
+//! instrumentation when it is attached, and — the number that matters —
+//! when it is not. The executor's event hook and the sweep's observer hook
+//! are `Option`s checked once per step/trial, so the disabled cases here
+//! must sit within noise of the baselines; the acceptance bar for the
+//! `cil-obs` PR is a disabled-instrumentation sweep within 3% of
+//! pre-instrumentation wall time.
+
+use cil_core::two::TwoProcessor;
+use cil_obs::{EventSink, NullSink, ProgressMeter, Registry, RunEvent};
+use cil_sim::{RandomScheduler, Runner, SweepObserver, TrialResult, TrialSweep, Val};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// One full consensus run: no instrumentation vs a [`NullSink`] event
+/// stream. The delta is the entire cost of the per-step event formatting
+/// (events are still constructed for a `NullSink`, so this bounds the
+/// *enabled* overhead; the *disabled* overhead is the baseline itself).
+fn bench_runner_events(c: &mut Criterion) {
+    let p = TwoProcessor::new();
+    let mut g = c.benchmark_group("obs/runner");
+    let mut seed = 0u64;
+    g.bench_function("baseline_no_sink", |b| {
+        b.iter(|| {
+            seed += 1;
+            let out = Runner::new(&p, &[Val::A, Val::B], RandomScheduler::new(seed))
+                .seed(seed)
+                .run();
+            black_box(out.total_steps)
+        })
+    });
+    g.bench_function("null_sink", |b| {
+        b.iter(|| {
+            seed += 1;
+            let mut sink = NullSink;
+            let out = Runner::new(&p, &[Val::A, Val::B], RandomScheduler::new(seed))
+                .seed(seed)
+                .events(&mut sink)
+                .run();
+            black_box(out.total_steps)
+        })
+    });
+    g.finish();
+}
+
+/// A small sweep: plain `run` vs `run_observed(None)` (must be identical —
+/// the None path is what every un-instrumented caller now pays) vs a full
+/// observer with metrics and a quiet progress meter.
+fn bench_sweep_observer(c: &mut Criterion) {
+    const TRIALS: u64 = 2_000;
+    let p = TwoProcessor::new();
+    let trial_fn = |trial: cil_sim::Trial| {
+        let out = Runner::new(&p, &[Val::A, Val::B], RandomScheduler::new(trial.seed))
+            .seed(trial.seed)
+            .run();
+        TrialResult::from_run(&out).metric(out.total_steps)
+    };
+    let mut g = c.benchmark_group("obs/sweep");
+    g.bench_function("baseline_run", |b| {
+        b.iter(|| black_box(TrialSweep::new(TRIALS).root_seed(7).jobs(1).run(trial_fn)))
+    });
+    g.bench_function("run_observed_none", |b| {
+        b.iter(|| {
+            black_box(
+                TrialSweep::new(TRIALS)
+                    .root_seed(7)
+                    .jobs(1)
+                    .run_observed(None, trial_fn),
+            )
+        })
+    });
+    g.bench_function("run_observed_metrics_and_progress", |b| {
+        b.iter(|| {
+            let registry = Registry::new();
+            let observer = SweepObserver::new(&registry)
+                .with_progress(ProgressMeter::new("bench", Some(TRIALS)).quiet());
+            let stats = TrialSweep::new(TRIALS)
+                .root_seed(7)
+                .jobs(1)
+                .run_observed(Some(&observer), trial_fn);
+            black_box((stats, registry.snapshot()))
+        })
+    });
+    g.finish();
+}
+
+/// Raw metric update costs: the atomics a fully-instrumented hot loop pays
+/// per trial.
+fn bench_metric_updates(c: &mut Criterion) {
+    let registry = Registry::new();
+    let counter = registry.counter("bench.counter");
+    let hist = registry.histogram("bench.hist", 1, 512);
+    let mut g = c.benchmark_group("obs/metrics");
+    g.bench_function("counter_inc_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                counter.inc();
+            }
+            black_box(counter.get())
+        })
+    });
+    g.bench_function("histogram_observe_x1000", |b| {
+        b.iter(|| {
+            for v in 0..1000u64 {
+                hist.observe(v % 64);
+            }
+            black_box(hist.snapshot().sum)
+        })
+    });
+    g.bench_function("event_to_json", |b| {
+        let ev = RunEvent::Step {
+            index: 41,
+            pid: 2,
+            op: cil_obs::OpKind::Write,
+            reg: 5,
+            value: "Some(Val(3))".to_string(),
+        };
+        b.iter(|| black_box(ev.to_json()))
+    });
+    g.bench_function("null_sink_emit_x1000", |b| {
+        let ev = RunEvent::Decision {
+            index: 9,
+            pid: 0,
+            value: 1,
+        };
+        b.iter(|| {
+            let mut sink = NullSink;
+            for _ in 0..1000 {
+                sink.emit(black_box(&ev));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_runner_events,
+    bench_sweep_observer,
+    bench_metric_updates
+);
+criterion_main!(benches);

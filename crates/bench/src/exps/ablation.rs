@@ -54,7 +54,13 @@ pub fn run() -> String {
 
     let no_coin = NUnbounded::ablate_always_write(3);
     let row = bench_protocol(&no_coin, runs, budget, Mix::Random);
-    push(&mut t, "Fig. 2 no retain-coin", "symmetry-breaking coin (random sched)", runs, row);
+    push(
+        &mut t,
+        "Fig. 2 no retain-coin",
+        "symmetry-breaking coin (random sched)",
+        runs,
+        row,
+    );
     // The no-coin variant is fully deterministic, so by Theorem 4 a
     // blocking schedule exists — and it is the simplest one imaginable:
     // plain round-robin keeps the three processors in perfect lockstep,

@@ -29,7 +29,13 @@ pub fn run() -> String {
     for n in [2usize, 3, 5, 8] {
         let p = NUnbounded::new(n);
         let inputs: Vec<Val> = (0..n).map(|i| Val((i % 2) as u64)).collect();
-        let stats = TrialSweep::new(runs).jobs(crate::jobs()).run(|trial| {
+        let registry = cil_obs::Registry::new();
+        let observer = crate::progress().then(|| {
+            cil_sim::SweepObserver::new(&registry)
+                .with_progress(cil_obs::ProgressMeter::new("sweep", Some(runs)))
+        });
+        let sweep = TrialSweep::new(runs).jobs(crate::jobs());
+        let stats = sweep.run_observed(observer.as_ref(), |trial| {
             let seed = trial.index;
             let mut plan = CrashPlan::none();
             for (j, pid) in (1..n).enumerate() {
@@ -48,6 +54,9 @@ pub fn run() -> String {
                 .metric(o.steps[0])
                 .flag(o.decisions[0].is_some())
         });
+        if let Some(obs) = &observer {
+            obs.finish();
+        }
         t.row([
             n.to_string(),
             (n - 1).to_string(),
@@ -73,7 +82,10 @@ mod tests {
     fn survivor_always_decides() {
         let r = super::run();
         // Every decision-rate cell is runs/runs.
-        for line in r.lines().filter(|l| l.chars().nth(2).is_some_and(|c| c.is_ascii_digit())) {
+        for line in r
+            .lines()
+            .filter(|l| l.chars().nth(2).is_some_and(|c| c.is_ascii_digit()))
+        {
             let cells: Vec<&str> = line.split('|').map(str::trim).collect();
             if cells.len() > 4 && cells[3].contains('/') {
                 let parts: Vec<&str> = cells[3].split('/').collect();

@@ -10,8 +10,8 @@ use cil_analysis::Table;
 use cil_core::deterministic::{DetRule, DetTwo};
 use cil_mc::bivalence::construct_infinite_schedule;
 use cil_mc::config::Config;
-use cil_mc::valence::{Valence, ValenceMap};
 use cil_mc::successors;
+use cil_mc::valence::{Valence, ValenceMap};
 use cil_sim::Val;
 use std::collections::HashSet;
 
@@ -111,7 +111,12 @@ mod tests {
     #[test]
     fn report_contains_all_victims_and_no_decisions() {
         let r = super::run();
-        for rule in ["always-adopt", "always-keep", "adopt-if-greater", "alternate"] {
+        for rule in [
+            "always-adopt",
+            "always-keep",
+            "adopt-if-greater",
+            "alternate",
+        ] {
             assert!(r.contains(rule), "missing {rule}");
         }
         assert!(!r.contains("YES (bug!)"));

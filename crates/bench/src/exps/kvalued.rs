@@ -78,7 +78,10 @@ mod tests {
         for k in ["| 2 ", "| 64"] {
             assert!(r.contains(k), "missing row {k}");
         }
-        for line in r.lines().filter(|l| l.starts_with("| ") && l.ends_with(" |")) {
+        for line in r
+            .lines()
+            .filter(|l| l.starts_with("| ") && l.ends_with(" |"))
+        {
             if line.contains("| 6 ") || line.chars().nth(2).is_some_and(|c| c.is_ascii_digit()) {
                 assert!(!line.contains("panic"));
             }

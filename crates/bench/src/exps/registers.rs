@@ -7,13 +7,30 @@
 //! for linearizability.
 
 use cil_analysis::Table;
+use cil_obs::ProgressMeter;
 use cil_registers::construct::atomic_from_regular::{seq_store, PairCodec, SeqReader, SeqWriter};
 use cil_registers::construct::multivalued::{unary_store, ClearOrder, UnaryReader, UnaryWriter};
 use cil_registers::construct::regular_from_safe::{DirectReader, QuietWriter, TransparentWriter};
 use cil_registers::construct::{check_regular, run_interleaved, StepMachine, Store};
-use cil_registers::exhaust::explore_par;
+use cil_registers::exhaust::{explore_par_observed, Chooser};
 use cil_registers::linearize::{is_linearizable, HistOp};
 use cil_registers::taxonomy::{IntervalRegister, RegClass};
+
+/// Exhaustive enumeration of one construction's scenarios, with a live
+/// leaves/sec line on stderr when `CIL_PROGRESS` is set (observability
+/// only — the counts are identical either way).
+fn explore_par(
+    max_leaves: usize,
+    jobs: usize,
+    scenario: impl Fn(&mut Chooser) -> bool + Sync,
+) -> (usize, u64) {
+    let meter = crate::progress().then(|| ProgressMeter::new("exhaust", None));
+    let result = explore_par_observed(max_leaves, jobs, meter.as_ref(), scenario);
+    if let Some(m) = &meter {
+        m.finish();
+    }
+    result
+}
 
 /// Runs the experiment and returns its markdown report.
 pub fn run() -> String {

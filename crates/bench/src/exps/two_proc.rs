@@ -76,10 +76,7 @@ pub fn run() -> String {
     );
     let mut t = Table::new(["h", "min P[decided within h]"]);
     for h in [2u32, 4, 6, 8, 10, 12, 14] {
-        t.row([
-            h.to_string(),
-            fnum(cil_mc::min_decide_prob(&p, &inputs, h)),
-        ]);
+        t.row([h.to_string(), fnum(cil_mc::min_decide_prob(&p, &inputs, h))]);
     }
     out.push_str(&t.render());
 
@@ -210,7 +207,10 @@ mod tests {
         assert!(r.contains("violations = 0"));
         // No adversary row may report inconsistencies: the last cell of
         // every data row of the Monte-Carlo table is 0.
-        for line in r.lines().filter(|l| l.contains("| 20000 ") || l.contains("| 400 ")) {
+        for line in r
+            .lines()
+            .filter(|l| l.contains("| 20000 ") || l.contains("| 400 "))
+        {
             let cells: Vec<&str> = line.split('|').map(str::trim).collect();
             let last = cells.iter().rev().find(|c| !c.is_empty()).unwrap();
             assert_eq!(*last, "0", "bad row: {line}");

@@ -27,13 +27,17 @@ pub mod sweep;
 
 pub use sweep::{sweep, sweep_with_jobs, SweepResult};
 
-use cil_sim::{Adversary, BoxedAdversary, LaggardFirst, Protocol, RandomScheduler, RoundRobin, SplitKeeper};
+use cil_sim::{
+    Adversary, BoxedAdversary, LaggardFirst, Protocol, RandomScheduler, RoundRobin, SplitKeeper,
+};
 
 /// The standard adversary suite used across experiments. Each entry is a
 /// factory so every run gets a fresh scheduler.
 #[allow(clippy::type_complexity)]
-pub fn adversary_suite<P: Protocol>(
-) -> Vec<(&'static str, Box<dyn Fn(u64) -> BoxedAdversary<P> + Send + Sync>)> {
+pub fn adversary_suite<P: Protocol>() -> Vec<(
+    &'static str,
+    Box<dyn Fn(u64) -> BoxedAdversary<P> + Send + Sync>,
+)> {
     vec![
         (
             "round-robin",
@@ -85,6 +89,14 @@ pub fn jobs() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
+}
+
+/// Whether experiment sweeps should render a live progress line on stderr:
+/// the `CIL_PROGRESS` environment variable, set to anything but `0` or
+/// the empty string. Progress output is observability only — it never
+/// changes an experiment's numbers (see [`cil_sim::SweepObserver`]).
+pub fn progress() -> bool {
+    std::env::var("CIL_PROGRESS").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 #[cfg(test)]

@@ -10,7 +10,8 @@
 //! at any worker count.
 
 use cil_analysis::{OnlineStats, TailEstimator};
-use cil_sim::{Halt, Protocol, RunOutcome, SweepStats, TrialResult, TrialSweep};
+use cil_obs::{ProgressMeter, Registry};
+use cil_sim::{Halt, Protocol, RunOutcome, SweepObserver, SweepStats, TrialResult, TrialSweep};
 
 /// Accumulated result of a sweep.
 #[derive(Debug, Default)]
@@ -80,12 +81,24 @@ where
     F: Fn(u64) -> RunOutcome<P> + Sync,
     M: Fn(&RunOutcome<P>) -> u64 + Sync,
 {
-    let stats = TrialSweep::new(runs).jobs(jobs).run(|trial| {
-        let outcome = make_run(trial.index);
-        TrialResult::from_run(&outcome)
-            .metric(metric(&outcome))
-            .flag(outcome.halt == Halt::MaxSteps)
+    // `CIL_PROGRESS=1` attaches a live trials/sec + ETA line on stderr.
+    // The observer only accumulates commutative atomics, so the returned
+    // statistics are identical with or without it (and at any job count).
+    let registry = Registry::new();
+    let observer = crate::progress().then(|| {
+        SweepObserver::new(&registry).with_progress(ProgressMeter::new("sweep", Some(runs)))
     });
+    let stats = TrialSweep::new(runs)
+        .jobs(jobs)
+        .run_observed(observer.as_ref(), |trial| {
+            let outcome = make_run(trial.index);
+            TrialResult::from_run(&outcome)
+                .metric(metric(&outcome))
+                .flag(outcome.halt == Halt::MaxSteps)
+        });
+    if let Some(obs) = &observer {
+        obs.finish();
+    }
     SweepResult::from_stats(&stats)
 }
 

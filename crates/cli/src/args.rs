@@ -1,16 +1,17 @@
 //! Tiny dependency-free argument parsing: `--key value` / `--flag` options
-//! after a subcommand.
+//! and positional arguments after a subcommand.
 
 use std::collections::HashMap;
 
-/// Parsed command line: a subcommand plus `--key value` options and
-/// `--flag` switches.
+/// Parsed command line: a subcommand plus `--key value` options, `--flag`
+/// switches, and bare positional arguments (e.g. `cil replay out.jsonl`).
 #[derive(Debug, Default)]
 pub struct Args {
     /// The subcommand (first non-flag token).
     pub command: String,
     options: HashMap<String, String>,
     flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
 impl Args {
@@ -32,10 +33,11 @@ impl Args {
             None => return Ok(args),
         }
         while let Some(tok) = it.next() {
-            let key = tok
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected an option, got '{tok}'"))?
-                .to_string();
+            let Some(key) = tok.strip_prefix("--") else {
+                args.positionals.push(tok);
+                continue;
+            };
+            let key = key.to_string();
             if boolean_flags.contains(&key.as_str()) {
                 args.flags.push(key);
             } else {
@@ -76,6 +78,11 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// The `i`-th bare positional argument after the subcommand.
+    pub fn pos(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
 }
 
 /// Parses an input list like `a,b,a` or `0,1,0` into values
@@ -109,11 +116,7 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_flags() {
-        let a = Args::parse(
-            toks("run --protocol fig2 --seed 7 --trace"),
-            &["trace"],
-        )
-        .unwrap();
+        let a = Args::parse(toks("run --protocol fig2 --seed 7 --trace"), &["trace"]).unwrap();
         assert_eq!(a.command, "run");
         assert_eq!(a.get("protocol"), Some("fig2"));
         assert_eq!(a.get_u64("seed", 0).unwrap(), 7);
@@ -142,10 +145,7 @@ mod tests {
 
     #[test]
     fn inputs_accept_letters_and_numbers() {
-        assert_eq!(
-            parse_inputs("a,b,a").unwrap(),
-            vec![Val::A, Val::B, Val::A]
-        );
+        assert_eq!(parse_inputs("a,b,a").unwrap(), vec![Val::A, Val::B, Val::A]);
         assert_eq!(parse_inputs("0,1,5").unwrap(), vec![Val(0), Val(1), Val(5)]);
         assert!(parse_inputs("a,x").is_err());
     }
@@ -154,5 +154,15 @@ mod tests {
     fn empty_args_have_no_command() {
         let a = Args::parse(Vec::<String>::new(), &[]).unwrap();
         assert!(a.command.is_empty());
+    }
+
+    #[test]
+    fn bare_tokens_become_positionals() {
+        let a = Args::parse(toks("replay out.jsonl --jobs 2 extra"), &[]).unwrap();
+        assert_eq!(a.command, "replay");
+        assert_eq!(a.pos(0), Some("out.jsonl"));
+        assert_eq!(a.pos(1), Some("extra"));
+        assert_eq!(a.pos(2), None);
+        assert_eq!(a.get_u64("jobs", 0).unwrap(), 2);
     }
 }

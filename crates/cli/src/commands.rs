@@ -12,11 +12,13 @@ use cil_core::three_bounded::ThreeBounded;
 use cil_core::two::TwoProcessor;
 use cil_mc::mdp::{MdpSolver, Objective};
 use cil_mc::{construct_infinite_schedule, Explorer, LookaheadAdversary};
+use cil_obs::json::{self, Value};
+use cil_obs::{JsonlSink, LevelReporter, ProgressMeter, Registry};
 use cil_registers::Packable;
 use cil_sim::{
     parse_schedule, run_on_threads, Adversary, Alternator, BoxedAdversary, FixedSchedule,
     LaggardFirst, LeaderFirst, Protocol, RandomScheduler, Rng as _, RoundRobin, Runner,
-    SplitKeeper, TrialResult, TrialSweep, Val,
+    SplitKeeper, SweepObserver, TrialResult, TrialSweep, Val,
 };
 use std::fmt::Write as _;
 
@@ -26,11 +28,14 @@ pub fn help() -> String {
 
 USAGE:
   cil run       --protocol <P> --inputs a,b[,..] [--adversary <A>] [--seed N]
-                [--max-steps N] [--trace]
+                [--max-steps N] [--trace] [--trace-json <file>]
+  cil replay    <file>                             re-execute a --trace-json
+                capture and verify the regenerated event stream byte-for-byte
   cil sweep     --protocol <P> --inputs a,b[,..] [--adversary <A>] [--trials N]
-                [--seed N] [--max-steps N] [--jobs N]   parallel Monte-Carlo sweep
+                [--seed N] [--max-steps N] [--jobs N] [--progress]
+                [--metrics-out <file>]             parallel Monte-Carlo sweep
   cil check     --protocol <P> --inputs a,b[,..] [--depth N] [--max-configs N]
-                [--jobs N]
+                [--jobs N] [--stats] [--progress]
   cil mdp       --inputs a,b [--kmax N]            exact Theorem 7 analysis
   cil theorem4  --rule <R> [--steps N]             construct the infinite schedule
   cil elect     [--n N] [--rounds N]               leader election / mutual exclusion
@@ -44,6 +49,10 @@ ADVERSARIES <A>: round-robin | random | split-keeper | laggard | leader
 RULES <R>: always-adopt | always-keep | adopt-if-greater | alternate
 JOBS: --jobs 0 (default) = all cores, 1 = serial; results are identical at
       every setting — only wall time changes.
+OBSERVABILITY: --progress renders a live rate/ETA (sweep) or per-level BFS
+      line (check) on stderr; --metrics-out writes a canonical-JSON metrics
+      snapshot; --trace-json captures a structured JSONL event stream that
+      `cil replay` re-executes and verifies. None of these change results.
 "
     .to_string()
 }
@@ -67,8 +76,8 @@ where
             Box::new(LookaheadAdversary::new(h))
         }
         s if s.starts_with('(') || s.chars().next().is_some_and(|c| c.is_ascii_digit()) => {
-            let sched = parse_schedule(s, true)
-                .map_err(|e| format!("bad adversary schedule: {e}"))?;
+            let sched =
+                parse_schedule(s, true).map_err(|e| format!("bad adversary schedule: {e}"))?;
             Box::new(FixedSchedule::new(sched))
         }
         other => return Err(format!("unknown adversary '{other}' (see cil help)")),
@@ -86,14 +95,24 @@ fn run_one<P: Protocol + 'static>(protocol: &P, args: &Args) -> Result<String, S
         ));
     }
     let seed = args.get_u64("seed", 0)?;
-    let adversary = make_adversary::<P>(args.get_or("adversary", "random"), seed)?;
+    let spec = args.get_or("adversary", "random");
+    let adversary = make_adversary::<P>(spec, seed)?;
     let adv_name = adversary.name();
     let max_steps = args.get_u64("max-steps", 1_000_000)?;
-    let out = Runner::new(protocol, &inputs, adversary)
+    let runner = Runner::new(protocol, &inputs, adversary)
         .seed(seed)
         .max_steps(max_steps)
-        .record_trace(args.flag("trace"))
-        .run();
+        .record_trace(args.flag("trace"));
+    let mut captured: Option<(&str, String)> = None;
+    let out = if let Some(path) = args.get("trace-json") {
+        let mut sink = JsonlSink::new(Vec::new());
+        let out = runner.events(&mut sink).run();
+        let body = String::from_utf8(sink.into_inner()).expect("events are valid UTF-8");
+        captured = Some((path, body));
+        out
+    } else {
+        runner.run()
+    };
     let mut s = String::new();
     let _ = writeln!(s, "protocol : {}", protocol.name());
     let _ = writeln!(s, "adversary: {adv_name}   seed: {seed}");
@@ -118,6 +137,23 @@ fn run_one<P: Protocol + 'static>(protocol: &P, args: &Args) -> Result<String, S
         out.nontrivial(),
         out.halt
     );
+    if let Some((path, body)) = captured {
+        let meta = json::ObjWriter::new()
+            .str("type", "meta")
+            .str("protocol", args.get_or("protocol", "two"))
+            .str("inputs", args.get_or("inputs", ""))
+            .num("seed", seed)
+            .num("max_steps", max_steps)
+            .str("adversary", spec)
+            .finish();
+        let events = body.lines().count();
+        std::fs::write(path, format!("{meta}\n{body}"))
+            .map_err(|e| format!("cannot write --trace-json file '{path}': {e}"))?;
+        let _ = writeln!(
+            s,
+            "events: {events} JSONL records -> {path}   (verify: cil replay {path})"
+        );
+    }
     Ok(s)
 }
 
@@ -159,6 +195,129 @@ pub fn run(args: &Args) -> Result<String, String> {
     with_protocol!(args, run_one)
 }
 
+/// Re-runs a protocol under a fixed schedule and returns the regenerated
+/// JSONL event body (no meta line) for byte-for-byte comparison.
+fn capture_events_one<P: Protocol + 'static>(protocol: &P, args: &Args) -> Result<String, String>
+where
+    P::State: 'static,
+    P::Reg: 'static,
+{
+    let inputs = parse_inputs(args.get_or("inputs", ""))?;
+    if inputs.len() != protocol.processes() {
+        return Err(format!(
+            "--inputs: expected {} values for {}, got {}",
+            protocol.processes(),
+            protocol.name(),
+            inputs.len()
+        ));
+    }
+    let seed = args.get_u64("seed", 0)?;
+    let adversary = make_adversary::<P>(args.get_or("adversary", "round-robin"), seed)?;
+    let max_steps = args.get_u64("max-steps", 1_000_000)?;
+    let mut sink = JsonlSink::new(Vec::new());
+    Runner::new(protocol, &inputs, adversary)
+        .seed(seed)
+        .max_steps(max_steps)
+        .events(&mut sink)
+        .run();
+    Ok(String::from_utf8(sink.into_inner()).expect("events are valid UTF-8"))
+}
+
+/// `cil replay <file>` — re-execute a `--trace-json` capture and verify the
+/// regenerated event stream matches the captured one byte-for-byte.
+///
+/// The executor's coin RNG is independent of the adversary's randomness, so
+/// re-running the captured *schedule* (the pids of the step events) with the
+/// captured seed reproduces every coin flip, step, and decision exactly.
+pub fn replay(args: &Args) -> Result<String, String> {
+    let path = args
+        .pos(0)
+        .or_else(|| args.get("file"))
+        .ok_or("replay needs a capture file: cil replay <out.jsonl>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let mut lines = text.lines();
+    let meta_line = lines.next().ok_or_else(|| format!("'{path}' is empty"))?;
+    let meta = json::parse_flat(meta_line).map_err(|e| format!("bad meta line: {e}"))?;
+    if meta.get("type").and_then(Value::as_str) != Some("meta") {
+        return Err(format!(
+            "'{path}' does not start with a meta record (capture with cil run --trace-json)"
+        ));
+    }
+    let meta_str = |k: &str| {
+        meta.get(k)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("meta record missing '{k}'"))
+    };
+    let meta_num = |k: &str| {
+        meta.get(k)
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("meta record missing '{k}'"))
+    };
+    let protocol = meta_str("protocol")?;
+    let inputs = meta_str("inputs")?;
+    let seed = meta_num("seed")?;
+    let max_steps = meta_num("max_steps")?;
+    let captured: Vec<&str> = lines.collect();
+
+    // The captured schedule: pids of the step events, in order.
+    let mut schedule = Vec::new();
+    for (i, line) in captured.iter().enumerate() {
+        let ev = json::parse_flat(line).map_err(|e| format!("bad event on line {}: {e}", i + 2))?;
+        if ev.get("type").and_then(Value::as_str) == Some("step") {
+            let pid = ev
+                .get("pid")
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("step event on line {} has no pid", i + 2))?;
+            // One-based, as the adversary schedule notation expects.
+            schedule.push(pid + 1);
+        }
+    }
+    let sched_spec = format!(
+        "({})",
+        schedule
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let tokens = [
+        "replay".to_string(),
+        "--protocol".into(),
+        protocol.to_string(),
+        "--inputs".into(),
+        inputs.to_string(),
+        "--seed".into(),
+        seed.to_string(),
+        "--max-steps".into(),
+        max_steps.to_string(),
+        "--adversary".into(),
+        sched_spec,
+    ];
+    let inner = Args::parse(tokens, &[])?;
+    let regenerated = with_protocol!(&inner, capture_events_one)?;
+    let regen: Vec<&str> = regenerated.lines().collect();
+    for (i, (a, b)) in captured.iter().zip(&regen).enumerate() {
+        if a != b {
+            return Err(format!(
+                "replay DIVERGED at event {i}:\n  captured: {a}\n  replayed: {b}"
+            ));
+        }
+    }
+    if captured.len() != regen.len() {
+        return Err(format!(
+            "replay DIVERGED: {} captured events vs {} replayed",
+            captured.len(),
+            regen.len()
+        ));
+    }
+    Ok(format!(
+        "replayed {protocol} from '{path}' (seed {seed}, {} steps)\n\
+         {} events re-executed — trace matches byte-for-byte ✓\n",
+        schedule.len(),
+        captured.len()
+    ))
+}
+
 fn sweep_one<P: Protocol + Sync + 'static>(protocol: &P, args: &Args) -> Result<String, String>
 where
     P::State: 'static,
@@ -183,7 +342,16 @@ where
     make_adversary::<P>(spec, 0)?;
     let sweep = TrialSweep::new(trials).root_seed(root_seed).jobs(jobs);
     let effective = sweep.effective_jobs();
-    let stats = sweep.run(|trial| {
+    let metrics_out = args.get("metrics-out");
+    let registry = Registry::new();
+    let observer = (args.flag("progress") || metrics_out.is_some()).then(|| {
+        let mut obs = SweepObserver::new(&registry);
+        if args.flag("progress") {
+            obs = obs.with_progress(ProgressMeter::new("sweep", Some(trials)));
+        }
+        obs
+    });
+    let stats = sweep.run_observed(observer.as_ref(), |trial| {
         let adversary =
             make_adversary::<P>(spec, trial.seed).expect("adversary spec validated above");
         let out = Runner::new(protocol, &inputs, adversary)
@@ -192,6 +360,13 @@ where
             .run();
         TrialResult::from_run(&out)
     });
+    if let Some(obs) = &observer {
+        obs.finish();
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, registry.snapshot().to_json())
+            .map_err(|e| format!("cannot write --metrics-out file '{path}': {e}"))?;
+    }
     let mut s = String::new();
     let _ = writeln!(s, "protocol : {}", protocol.name());
     let _ = writeln!(
@@ -209,10 +384,7 @@ where
     let _ = writeln!(
         s,
         "steps: mean {}   min {}   max {}",
-        stats
-            .mean()
-            .map(fnum)
-            .unwrap_or_else(|| "—".into()),
+        stats.mean().map(fnum).unwrap_or_else(|| "—".into()),
         stats.metric_min().unwrap_or(0),
         stats.metric_max().unwrap_or(0)
     );
@@ -265,14 +437,18 @@ where
     let depth = args.get_u64("depth", 10)? as usize;
     let max_configs = args.get_u64("max-configs", 3_000_000)? as usize;
     let jobs = args.get_u64("jobs", 0)? as usize;
-    let report = Explorer::new(protocol, &inputs)
+    let reporter = args.flag("progress").then(|| LevelReporter::new("check"));
+    let mut explorer = Explorer::new(protocol, &inputs)
         .max_depth(depth)
         .max_configs(max_configs)
-        .jobs(jobs)
-        .par_run();
-    Ok(format!(
+        .jobs(jobs);
+    if let Some(rep) = &reporter {
+        explorer = explorer.on_level(move |l| rep.level(l.depth, l.frontier, l.generated, l.fresh));
+    }
+    let report = explorer.par_run();
+    let mut s = format!(
         "exhaustive check of {} to depth {}\n{} configurations explored \
-         (complete: {})\nviolations: {}\n{}",
+         (complete: {})\nviolations: {}\n{}\n",
         protocol.name(),
         depth,
         report.explored,
@@ -283,7 +459,26 @@ where
         } else {
             "VIOLATIONS FOUND — see above"
         }
-    ))
+    );
+    if args.flag("stats") {
+        let _ = writeln!(s, "\nlevel  frontier  generated  fresh  dedup-hit");
+        for l in &report.levels {
+            let hit = if l.generated == 0 {
+                "    —".to_string()
+            } else {
+                format!(
+                    "{:4.1}%",
+                    100.0 * (1.0 - l.fresh as f64 / l.generated as f64)
+                )
+            };
+            let _ = writeln!(
+                s,
+                "{:>5}  {:>8}  {:>9}  {:>5}  {:>9}",
+                l.depth, l.frontier, l.generated, l.fresh, hit
+            );
+        }
+    }
+    Ok(s)
 }
 
 /// `cil check` — exhaustive bounded safety check.
@@ -315,7 +510,10 @@ pub fn mdp(args: &Args) -> Result<String, String> {
         "E[total steps | optimal adaptive adversary] = {}",
         fnum(total.value)
     );
-    let _ = writeln!(s, "\nexact worst-case survival P[P0 undecided after k steps]:");
+    let _ = writeln!(
+        s,
+        "\nexact worst-case survival P[P0 undecided after k steps]:"
+    );
     for (k, v) in curve.iter().enumerate().step_by(2) {
         let _ = writeln!(s, "  k = {k:>2}: {}", fnum(*v));
     }
@@ -340,7 +538,11 @@ pub fn theorem4(args: &Args) -> Result<String, String> {
              Theorem 4 in action: no decision is ever forced ✓",
             p.name(),
             demo.schedule.len(),
-            if demo.anyone_decided { "SOME (bug!)" } else { "no decision" },
+            if demo.anyone_decided {
+                "SOME (bug!)"
+            } else {
+                "no decision"
+            },
             &demo.schedule[..demo.schedule.len().min(30)]
         )),
         Err(partial) => Ok(format!(

@@ -4,9 +4,12 @@
 //! checker:
 //!
 //! ```text
-//! cil run       --protocol fig2 --inputs a,b,a --adversary random --seed 7 [--trace]
+//! cil run       --protocol fig2 --inputs a,b,a --adversary random --seed 7
+//!               [--trace] [--trace-json out.jsonl]
+//! cil replay    out.jsonl
 //! cil sweep     --protocol fig2 --inputs a,b,a --trials 10000 --seed 7 --jobs 4
-//! cil check     --protocol fig3 --inputs a,b,a --depth 11 --jobs 4
+//!               [--progress] [--metrics-out m.json]
+//! cil check     --protocol fig3 --inputs a,b,a --depth 11 --jobs 4 [--stats]
 //! cil mdp       --inputs a,b [--kmax 20]
 //! cil theorem4  --rule always-adopt --steps 100000
 //! cil elect     --n 3 --rounds 10
@@ -35,9 +38,10 @@ pub use args::{parse_inputs, Args};
 ///
 /// Returns a usage message for unknown commands or malformed options.
 pub fn dispatch<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, String> {
-    let args = Args::parse(tokens, &["trace", "literal"])?;
+    let args = Args::parse(tokens, &["trace", "literal", "progress", "stats"])?;
     match args.command.as_str() {
         "run" => commands::run(&args),
+        "replay" => commands::replay(&args),
         "sweep" => commands::sweep(&args),
         "check" => commands::check(&args),
         "mdp" => commands::mdp(&args),
@@ -45,10 +49,7 @@ pub fn dispatch<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, Str
         "elect" => commands::elect(&args),
         "threads" => commands::threads(&args),
         "" | "help" | "--help" | "-h" => Ok(commands::help()),
-        other => Err(format!(
-            "unknown command '{other}'\n\n{}",
-            commands::help()
-        )),
+        other => Err(format!("unknown command '{other}'\n\n{}", commands::help())),
     }
 }
 
@@ -63,7 +64,21 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let h = dispatch(toks("help")).unwrap();
-        for c in ["run", "sweep", "check", "mdp", "theorem4", "elect", "threads", "--jobs"] {
+        for c in [
+            "run",
+            "replay",
+            "sweep",
+            "check",
+            "mdp",
+            "theorem4",
+            "elect",
+            "threads",
+            "--jobs",
+            "--trace-json",
+            "--metrics-out",
+            "--progress",
+            "--stats",
+        ] {
             assert!(h.contains(c), "help missing {c}");
         }
     }
@@ -72,7 +87,12 @@ mod tests {
     fn unknown_command_reports_usage() {
         let e = dispatch(toks("frobnicate")).unwrap_err();
         assert!(e.contains("unknown command"));
-        assert!(e.contains("run"));
+        // The usage text must list every current subcommand.
+        for c in [
+            "run", "replay", "sweep", "check", "mdp", "theorem4", "elect", "threads",
+        ] {
+            assert!(e.contains(c), "usage missing {c}");
+        }
     }
 
     #[test]
@@ -84,8 +104,7 @@ mod tests {
 
     #[test]
     fn run_with_trace_prints_steps() {
-        let out =
-            dispatch(toks("run --protocol two --inputs a,b --seed 1 --trace")).unwrap();
+        let out = dispatch(toks("run --protocol two --inputs a,b --seed 1 --trace")).unwrap();
         assert!(out.contains("write"), "{out}");
         assert!(out.contains("read"), "{out}");
     }
@@ -93,8 +112,18 @@ mod tests {
     #[test]
     fn run_with_paper_schedule() {
         let out = dispatch(
-            ["run", "--protocol", "fig2", "--inputs", "a,b,a", "--adversary", "(1,2,3,1,2,3)", "--seed", "2"]
-                .map(String::from),
+            [
+                "run",
+                "--protocol",
+                "fig2",
+                "--inputs",
+                "a,b,a",
+                "--adversary",
+                "(1,2,3,1,2,3)",
+                "--seed",
+                "2",
+            ]
+            .map(String::from),
         )
         .unwrap();
         assert!(out.contains("decisions"), "{out}");
@@ -102,7 +131,15 @@ mod tests {
 
     #[test]
     fn run_every_protocol_spec() {
-        for p in ["two", "fig2", "fig2-literal", "fig2-1w1r", "fig3", "n:4", "kvalued:8"] {
+        for p in [
+            "two",
+            "fig2",
+            "fig2-literal",
+            "fig2-1w1r",
+            "fig3",
+            "n:4",
+            "kvalued:8",
+        ] {
             let inputs = match p {
                 "two" | "kvalued:8" => "0,1",
                 "n:4" => "a,b,a,b",
@@ -116,8 +153,16 @@ mod tests {
         }
         // naive may not terminate; give it a budget and accept both outcomes.
         let out = dispatch(
-            ["run", "--protocol", "naive", "--inputs", "a,b,a", "--max-steps", "5000"]
-                .map(String::from),
+            [
+                "run",
+                "--protocol",
+                "naive",
+                "--inputs",
+                "a,b,a",
+                "--max-steps",
+                "5000",
+            ]
+            .map(String::from),
         )
         .unwrap();
         assert!(out.contains("decisions"), "{out}");
@@ -139,19 +184,18 @@ mod tests {
 
     #[test]
     fn sweep_reports_stats_and_is_jobs_invariant() {
-        let serial =
-            dispatch(toks("sweep --protocol two --inputs a,b --trials 200 --seed 9 --jobs 1"))
-                .unwrap();
+        let serial = dispatch(toks(
+            "sweep --protocol two --inputs a,b --trials 200 --seed 9 --jobs 1",
+        ))
+        .unwrap();
         assert!(serial.contains("trials: 200"), "{serial}");
         assert!(serial.contains("decided: 200"), "{serial}");
         assert!(serial.contains("violations: 0"), "{serial}");
         assert!(serial.contains("no safety violations"), "{serial}");
         for jobs in [2, 8] {
-            let par = dispatch(
-                toks(&format!(
-                    "sweep --protocol two --inputs a,b --trials 200 --seed 9 --jobs {jobs}"
-                )),
-            )
+            let par = dispatch(toks(&format!(
+                "sweep --protocol two --inputs a,b --trials 200 --seed 9 --jobs {jobs}"
+            )))
             .unwrap();
             // Identical output except the reported worker count.
             let strip = |s: &str| {
@@ -164,8 +208,7 @@ mod tests {
 
     #[test]
     fn sweep_rejects_bad_adversary_before_spawning() {
-        let e = dispatch(toks("sweep --protocol two --inputs a,b --adversary bogus"))
-            .unwrap_err();
+        let e = dispatch(toks("sweep --protocol two --inputs a,b --adversary bogus")).unwrap_err();
         assert!(e.contains("adversary"), "{e}");
     }
 
@@ -177,9 +220,9 @@ mod tests {
                 "n:4" => "a,b,a,b",
                 _ => "a,b,a",
             };
-            let out = dispatch(
-                toks(&format!("sweep --protocol {p} --inputs {inputs} --trials 50")),
-            )
+            let out = dispatch(toks(&format!(
+                "sweep --protocol {p} --inputs {inputs} --trials 50"
+            )))
             .unwrap_or_else(|e| panic!("{p}: {e}"));
             assert!(out.contains("violations: 0"), "{p}: {out}");
         }
@@ -215,8 +258,7 @@ mod tests {
 
     #[test]
     fn bad_adversary_is_reported() {
-        let e = dispatch(toks("run --protocol two --inputs a,b --adversary bogus"))
-            .unwrap_err();
+        let e = dispatch(toks("run --protocol two --inputs a,b --adversary bogus")).unwrap_err();
         assert!(e.contains("adversary"), "{e}");
     }
 

@@ -21,7 +21,12 @@ use cil_sim::{Adversary, Protocol, RunOutcome, Runner, Val};
 /// Panics if the run does not reach agreement within `max_steps` (the
 /// randomized protocols make this astronomically unlikely for sensible
 /// budgets).
-pub fn elect_leader<P, A>(protocol: &P, adversary: A, seed: u64, max_steps: u64) -> (usize, RunOutcome<P>)
+pub fn elect_leader<P, A>(
+    protocol: &P,
+    adversary: A,
+    seed: u64,
+    max_steps: u64,
+) -> (usize, RunOutcome<P>)
 where
     P: Protocol,
     A: Adversary<P>,
@@ -246,13 +251,8 @@ mod tests {
         let commands: Vec<Vec<Val>> = (0..3)
             .map(|pid| (0..6).map(|s| Val(pid + 2 * s)).collect())
             .collect();
-        let log = ReplicatedLog::build(
-            &p,
-            &commands,
-            6,
-            |_| cil_sim::SplitKeeper::new(),
-            1_000_000,
-        );
+        let log =
+            ReplicatedLog::build(&p, &commands, 6, |_| cil_sim::SplitKeeper::new(), 1_000_000);
         assert_eq!(log.len(), 6);
         assert!(log.every_entry_was_proposed(&commands));
     }

@@ -297,10 +297,7 @@ mod tests {
     #[test]
     fn asymmetric_rules_are_supported() {
         let p = DetTwo::asymmetric(DetRule::AlwaysAdopt, DetRule::AlwaysKeep);
-        assert_eq!(
-            p.rules(),
-            [DetRule::AlwaysAdopt, DetRule::AlwaysKeep]
-        );
+        assert_eq!(p.rules(), [DetRule::AlwaysAdopt, DetRule::AlwaysKeep]);
         for seed in 0..100 {
             let out = Runner::new(&p, &[Val::A, Val::B], RandomScheduler::new(seed))
                 .max_steps(10_000)

@@ -217,15 +217,12 @@ impl<P: Protocol> Protocol for KValued<P> {
 
     fn choose(&self, pid: usize, state: &Self::State) -> Choice<Op<Self::Reg>> {
         match &state.phase {
-            KPhase::PublishInit | KPhase::Republish => Choice::det(Op::Write(
-                self.cand_reg(pid),
-                KReg::Cand(Some(state.cand)),
-            )),
+            KPhase::PublishInit | KPhase::Republish => {
+                Choice::det(Op::Write(self.cand_reg(pid), KReg::Cand(Some(state.cand))))
+            }
             KPhase::Inner(s) => {
                 let round = state.round;
-                self.inner
-                    .choose(pid, s)
-                    .map(|op| self.remap_op(round, op))
+                self.inner.choose(pid, s).map(|op| self.remap_op(round, op))
             }
             KPhase::Scan { next } => {
                 let peer = self.peers(pid).nth(*next).expect("peer in range");
@@ -359,7 +356,11 @@ mod tests {
     fn three_processors_with_fig2_inner() {
         let p = KValued::new(NUnbounded::three(), 16);
         for seed in 0..100 {
-            let inputs = [Val(seed % 16), Val((seed * 7 + 1) % 16), Val((seed * 3 + 9) % 16)];
+            let inputs = [
+                Val(seed % 16),
+                Val((seed * 7 + 1) % 16),
+                Val((seed * 3 + 9) % 16),
+            ];
             let out = Runner::new(&p, &inputs, RandomScheduler::new(seed))
                 .seed(seed)
                 .max_steps(1_000_000)

@@ -43,10 +43,7 @@ pub struct NReg {
 
 impl NReg {
     /// The initial register contents `(⊥, 0)`.
-    pub const BOT: NReg = NReg {
-        pref: None,
-        num: 0,
-    };
+    pub const BOT: NReg = NReg { pref: None, num: 0 };
 }
 
 /// Internal state of one processor.
@@ -268,10 +265,7 @@ impl Protocol for NUnbounded {
                 },
             )),
             NState::Reading { peer_idx, .. } => {
-                let peer = self
-                    .peers(pid)
-                    .nth(*peer_idx)
-                    .expect("peer index in range");
+                let peer = self.peers(pid).nth(*peer_idx).expect("peer index in range");
                 Choice::det(Op::Read(peer.into()))
             }
             NState::WriteBack { old, new } => {
@@ -306,11 +300,7 @@ impl Protocol for NUnbounded {
                 peer_idx: 0,
                 seen: Vec::with_capacity(self.n - 1),
             }),
-            NState::Reading {
-                my,
-                peer_idx,
-                seen,
-            } => {
+            NState::Reading { my, peer_idx, seen } => {
                 let v = *read.expect("reading phase reads");
                 let mut seen = seen.clone();
                 seen.push(v);
@@ -409,13 +399,9 @@ mod tests {
     fn unanimous_inputs_decide_that_value() {
         let p = NUnbounded::three();
         for seed in 0..100 {
-            let out = Runner::new(
-                &p,
-                &[Val::B, Val::B, Val::B],
-                RandomScheduler::new(seed),
-            )
-            .seed(seed)
-            .run();
+            let out = Runner::new(&p, &[Val::B, Val::B, Val::B], RandomScheduler::new(seed))
+                .seed(seed)
+                .run();
             assert_eq!(out.agreement(), Some(Val::B), "seed {seed}");
             assert!(out.nontrivial());
         }
@@ -476,12 +462,7 @@ mod tests {
             // Crash P1..P3 early at staggered adversarial points.
             let out = Runner::new(&p, &inputs, RandomScheduler::new(seed))
                 .seed(seed)
-                .crashes(
-                    CrashPlan::none()
-                        .crash(1, 1)
-                        .crash(2, 5)
-                        .crash(3, 9),
-                )
+                .crashes(CrashPlan::none().crash(1, 1).crash(2, 5).crash(3, 9))
                 .max_steps(1_000_000)
                 .run();
             assert!(out.decisions[0].is_some(), "survivor stuck, seed {seed}");
@@ -518,10 +499,7 @@ mod tests {
 
     #[test]
     fn conclude_decides_on_gap_two_leader() {
-        let r = |p, num| NReg {
-            pref: Some(p),
-            num,
-        };
+        let r = |p, num| NReg { pref: Some(p), num };
         // Leader at 5 with pref b, others at ≤ 3: decide b.
         assert_eq!(
             NUnbounded::conclude(r(Val::B, 5), &[r(Val::A, 3), r(Val::A, 2)], false),
@@ -536,10 +514,7 @@ mod tests {
 
     #[test]
     fn conclude_adopts_unanimous_leader_pref() {
-        let r = |p, num| NReg {
-            pref: Some(p),
-            num,
-        };
+        let r = |p, num| NReg { pref: Some(p), num };
         // Two leaders at 4 both prefer a; the phase owner at 3 adopts a.
         assert_eq!(
             NUnbounded::conclude(r(Val::B, 3), &[r(Val::A, 4), r(Val::A, 4)], false),
@@ -549,10 +524,7 @@ mod tests {
 
     #[test]
     fn conclude_keeps_own_pref_on_split_leaders() {
-        let r = |p, num| NReg {
-            pref: Some(p),
-            num,
-        };
+        let r = |p, num| NReg { pref: Some(p), num };
         assert_eq!(
             NUnbounded::conclude(r(Val::B, 4), &[r(Val::A, 4), r(Val::A, 2)], false),
             PhaseOutcome::Advance(r(Val::B, 5))

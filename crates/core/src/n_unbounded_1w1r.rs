@@ -266,9 +266,7 @@ mod tests {
         let specs = cil_sim::Protocol::registers(&p);
         assert_eq!(specs.len(), 6);
         for s in &specs {
-            let readers: Vec<usize> = (0..3)
-                .filter(|&j| s.readers.allows(j.into()))
-                .collect();
+            let readers: Vec<usize> = (0..3).filter(|&j| s.readers.allows(j.into())).collect();
             assert_eq!(readers.len(), 1, "register {} has {readers:?}", s.name);
             assert_ne!(s.writer.0, readers[0], "writer reads its own register");
         }

@@ -219,14 +219,10 @@ mod tests {
         let p = Naive::new(3);
         let mut done = 0;
         for seed in 0..50 {
-            let out = Runner::new(
-                &p,
-                &[Val::A, Val::B, Val::A],
-                RandomScheduler::new(seed),
-            )
-            .seed(seed)
-            .max_steps(100_000)
-            .run();
+            let out = Runner::new(&p, &[Val::A, Val::B, Val::A], RandomScheduler::new(seed))
+                .seed(seed)
+                .max_steps(100_000)
+                .run();
             if out.halt == Halt::Done {
                 assert!(out.consistent());
                 done += 1;

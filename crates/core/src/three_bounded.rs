@@ -314,7 +314,13 @@ impl ThreeBounded {
 
     /// The end-of-phase computation for a processor holding `my`, having
     /// read `peers` (with the ahead one read last — see [`Stage`]).
-    fn compute(opts: BoundedOptions, my: &RunReg, saw_a: bool, saw_b: bool, peers: [&BReg; 2]) -> Outcome {
+    fn compute(
+        opts: BoundedOptions,
+        my: &RunReg,
+        saw_a: bool,
+        saw_b: bool,
+        peers: [&BReg; 2],
+    ) -> Outcome {
         // T1: adopt any decision seen.
         for p in peers {
             if let BReg::Dec(v) = p {
@@ -379,12 +385,12 @@ impl ThreeBounded {
             // unanimous).
             let all_runs: Option<Vec<&RunReg>> = if opts.t3 {
                 peers
-                .iter()
-                .map(|p| match p {
-                    BReg::Run(r) => Some(r),
-                    _ => None,
-                })
-                .collect()
+                    .iter()
+                    .map(|p| match p {
+                        BReg::Run(r) => Some(r),
+                        _ => None,
+                    })
+                    .collect()
             } else {
                 None
             };
@@ -392,9 +398,7 @@ impl ThreeBounded {
                 for (h, v) in [(Hist::A, Val::A), (Hist::B, Val::B)] {
                     if my.hist == h
                         && my_val == v
-                        && peer_runs
-                            .iter()
-                            .all(|r| r.hist == h && r.tag.value() == v)
+                        && peer_runs.iter().all(|r| r.hist == h && r.tag.value() == v)
                     {
                         return Outcome::Decide(v);
                     }
@@ -696,7 +700,13 @@ mod tests {
     #[test]
     fn t2_fires_when_both_peers_two_behind() {
         let my = run_reg(3, Tag::V(Val::A));
-        let out = ThreeBounded::compute(BoundedOptions::default(), &my, true, false, [&BReg::Bot, &BReg::Bot]);
+        let out = ThreeBounded::compute(
+            BoundedOptions::default(),
+            &my,
+            true,
+            false,
+            [&BReg::Bot, &BReg::Bot],
+        );
         assert_eq!(out, Outcome::Decide(Val::A));
     }
 
@@ -812,7 +822,8 @@ mod tests {
         };
         let peer = BReg::Run(run_reg(3, Tag::V(Val::A)));
         let peer2 = BReg::Run(run_reg(2, Tag::V(Val::A)));
-        let out = ThreeBounded::compute(BoundedOptions::default(), &my, true, false, [&peer, &peer2]);
+        let out =
+            ThreeBounded::compute(BoundedOptions::default(), &my, true, false, [&peer, &peer2]);
         match out {
             Outcome::Move { new, crossed } => {
                 assert!(crossed);
@@ -857,14 +868,10 @@ mod tests {
     fn unanimous_inputs_decide_that_value() {
         let p = ThreeBounded::new();
         for seed in 0..100 {
-            let out = Runner::new(
-                &p,
-                &[Val::A, Val::A, Val::A],
-                RandomScheduler::new(seed),
-            )
-            .seed(seed)
-            .max_steps(500_000)
-            .run();
+            let out = Runner::new(&p, &[Val::A, Val::A, Val::A], RandomScheduler::new(seed))
+                .seed(seed)
+                .max_steps(500_000)
+                .run();
             assert_eq!(out.halt, Halt::Done, "seed {seed}");
             assert_eq!(out.agreement(), Some(Val::A), "seed {seed}");
         }
@@ -874,14 +881,10 @@ mod tests {
     fn mixed_inputs_consistent_across_seeds() {
         let p = ThreeBounded::new();
         for seed in 0..300 {
-            let out = Runner::new(
-                &p,
-                &[Val::A, Val::B, Val::A],
-                RandomScheduler::new(seed),
-            )
-            .seed(seed ^ 0xABCD)
-            .max_steps(1_000_000)
-            .run();
+            let out = Runner::new(&p, &[Val::A, Val::B, Val::A], RandomScheduler::new(seed))
+                .seed(seed ^ 0xABCD)
+                .max_steps(1_000_000)
+                .run();
             assert_eq!(out.halt, Halt::Done, "seed {seed} did not finish");
             assert!(out.consistent(), "seed {seed} violated consistency");
             assert!(out.nontrivial(), "seed {seed} violated nontriviality");
@@ -929,15 +932,11 @@ mod tests {
     fn tolerates_two_crashes() {
         let p = ThreeBounded::new();
         for seed in 0..50 {
-            let out = Runner::new(
-                &p,
-                &[Val::A, Val::B, Val::B],
-                RandomScheduler::new(seed),
-            )
-            .seed(seed)
-            .crashes(CrashPlan::none().crash(1, 3).crash(2, 7))
-            .max_steps(500_000)
-            .run();
+            let out = Runner::new(&p, &[Val::A, Val::B, Val::B], RandomScheduler::new(seed))
+                .seed(seed)
+                .crashes(CrashPlan::none().crash(1, 3).crash(2, 7))
+                .max_steps(500_000)
+                .run();
             assert!(out.decisions[0].is_some(), "survivor stuck at seed {seed}");
             assert!(out.consistent());
             assert!(out.nontrivial());
@@ -950,15 +949,11 @@ mod tests {
         let alpha: HashSet<BReg> = register_alphabet().into_iter().collect();
         let p = ThreeBounded::new();
         for seed in 0..50 {
-            let out = Runner::new(
-                &p,
-                &[Val::A, Val::B, Val::A],
-                RandomScheduler::new(seed),
-            )
-            .seed(seed)
-            .record_trace(true)
-            .max_steps(1_000_000)
-            .run();
+            let out = Runner::new(&p, &[Val::A, Val::B, Val::A], RandomScheduler::new(seed))
+                .seed(seed)
+                .record_trace(true)
+                .max_steps(1_000_000)
+                .run();
             for e in out.trace.unwrap().events() {
                 if let Op::Write(_, v) = &e.op {
                     assert!(alpha.contains(v), "wrote value outside alphabet: {v:?}");

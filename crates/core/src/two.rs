@@ -109,9 +109,7 @@ impl Protocol for TwoProcessor {
 
     fn choose(&self, pid: usize, state: &TwoState) -> Choice<Op<TwoReg>> {
         match state {
-            TwoState::Start { input } => {
-                Choice::det(Op::Write(Self::own_reg(pid), Some(*input)))
-            }
+            TwoState::Start { input } => Choice::det(Op::Write(Self::own_reg(pid), Some(*input))),
             TwoState::AboutToRead { .. } => Choice::det(Op::Read(Self::other_reg(pid))),
             TwoState::AboutToWrite { mine, seen } => Choice::coin(
                 // Heads: rewrite own value; tails: adopt the other's.
@@ -137,9 +135,7 @@ impl Protocol for TwoProcessor {
                 let v = read.expect("line (1) is a read");
                 match v {
                     None => Choice::det(TwoState::Decided { value: *mine }),
-                    Some(seen) if seen == mine => {
-                        Choice::det(TwoState::Decided { value: *mine })
-                    }
+                    Some(seen) if seen == mine => Choice::det(TwoState::Decided { value: *mine }),
                     Some(seen) => Choice::det(TwoState::AboutToWrite {
                         mine: *mine,
                         seen: *seen,
@@ -321,10 +317,7 @@ mod tests {
         let s = TwoState::AboutToRead { mine: Val::A };
         let op = Op::Read(RegId(1));
         let next = p.transit(0, &s, &op, Some(&None));
-        assert_eq!(
-            next.branches()[0].1,
-            TwoState::Decided { value: Val::A }
-        );
+        assert_eq!(next.branches()[0].1, TwoState::Decided { value: Val::A });
     }
 
     #[test]

@@ -11,7 +11,12 @@ use proptest::prelude::*;
 
 /// Drive a protocol with real steps, checking structural invariants at
 /// every state it actually visits.
-fn check_visited_states<P: Protocol>(protocol: &P, inputs: &[Val], seed: u64, check: impl Fn(usize, &P::State)) {
+fn check_visited_states<P: Protocol>(
+    protocol: &P,
+    inputs: &[Val],
+    seed: u64,
+    check: impl Fn(usize, &P::State),
+) {
     use cil_registers::{Pid, SharedMemory};
     use cil_sim::Rng as _;
     let mut memory = SharedMemory::new(protocol.registers()).unwrap();

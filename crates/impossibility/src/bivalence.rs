@@ -191,6 +191,10 @@ mod tests {
         let r = construct_infinite_schedule(&p, &[Val::A, Val::A], 10_000, 1_000_000);
         assert!(r.is_err(), "adversary should fail on univalent inputs");
         let demo = r.unwrap_err();
-        assert!(demo.schedule.len() < 10, "stuck late: {}", demo.schedule.len());
+        assert!(
+            demo.schedule.len() < 10,
+            "stuck late: {}",
+            demo.schedule.len()
+        );
     }
 }

@@ -61,7 +61,11 @@ impl<P: Protocol> Config<P> {
     ///
     /// Panics if `inputs.len() != protocol.processes()`.
     pub fn initial(protocol: &P, inputs: &[Val]) -> Self {
-        assert_eq!(inputs.len(), protocol.processes(), "one input per processor");
+        assert_eq!(
+            inputs.len(),
+            protocol.processes(),
+            "one input per processor"
+        );
         let states = inputs
             .iter()
             .enumerate()
@@ -115,11 +119,7 @@ impl<P: Protocol> Config<P> {
 ///
 /// Panics if `pid` is not eligible (protocols must not be stepped past
 /// their decision state) or if the protocol operates on unknown registers.
-pub fn successors<P: Protocol>(
-    protocol: &P,
-    cfg: &Config<P>,
-    pid: usize,
-) -> Vec<(f64, Config<P>)> {
+pub fn successors<P: Protocol>(protocol: &P, cfg: &Config<P>, pid: usize) -> Vec<(f64, Config<P>)> {
     assert!(
         protocol.decision(&cfg.states[pid]).is_none(),
         "stepping a decided processor"

@@ -46,6 +46,29 @@ pub enum Violation {
     },
 }
 
+/// Per-level BFS statistics: how wide each level was and how effective
+/// the seen-set deduplication was there.
+///
+/// `generated - fresh` successors were duplicates of already-visited
+/// configurations (or fell past the `max_configs` cutoff); the dedup hit
+/// rate at a level is `1 - fresh / generated`. Both [`Explorer::run`] and
+/// [`Explorer::par_run`] produce identical level records, and only for
+/// levels that were processed to completion — a mid-level stop (the
+/// violation cap) leaves that level out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelStats {
+    /// BFS depth of this level (0 = the initial configuration).
+    pub depth: usize,
+    /// Number of configurations processed at this depth.
+    pub frontier: usize,
+    /// Successor configurations generated from this level, before
+    /// deduplication.
+    pub generated: usize,
+    /// Successors that were genuinely new (inserted into the seen-set and
+    /// carried into the next level).
+    pub fresh: usize,
+}
+
 /// Result of an exploration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
@@ -58,6 +81,9 @@ pub struct Report {
     pub complete: bool,
     /// Maximum BFS depth reached.
     pub max_depth: usize,
+    /// Per-level frontier/dedup statistics, one entry per completed BFS
+    /// level in depth order.
+    pub levels: Vec<LevelStats>,
 }
 
 impl Report {
@@ -76,6 +102,8 @@ pub struct Explorer<'p, P: Protocol> {
     jobs: usize,
     #[allow(clippy::type_complexity)]
     invariant: Option<Box<dyn Fn(&Config<P>) -> Result<(), String> + Send + Sync + 'p>>,
+    #[allow(clippy::type_complexity)]
+    on_level: Option<Box<dyn Fn(&LevelStats) + Send + Sync + 'p>>,
 }
 
 impl<'p, P: Protocol> Explorer<'p, P> {
@@ -88,6 +116,7 @@ impl<'p, P: Protocol> Explorer<'p, P> {
             max_configs: 5_000_000,
             jobs: 0,
             invariant: None,
+            on_level: None,
         }
     }
 
@@ -121,6 +150,16 @@ impl<'p, P: Protocol> Explorer<'p, P> {
         self
     }
 
+    /// Registers a callback invoked once per **completed** BFS level, as
+    /// the exploration runs — e.g. a `cil-obs` `LevelReporter`-backed
+    /// live progress line. The callback observes exactly the records that
+    /// end up in [`Report::levels`], in the same order, from both
+    /// [`Explorer::run`] and [`Explorer::par_run`].
+    pub fn on_level(mut self, f: impl Fn(&LevelStats) + Send + Sync + 'p) -> Self {
+        self.on_level = Some(Box::new(f));
+        self
+    }
+
     /// Runs the exploration.
     pub fn run(self) -> Report {
         let protocol = self.protocol;
@@ -130,10 +169,34 @@ impl<'p, P: Protocol> Explorer<'p, P> {
         let mut violations = Vec::new();
         let mut complete = true;
         let mut max_depth_seen = 0;
+        // The queue pops in nondecreasing depth order, so a level is
+        // complete exactly when the first configuration of the next depth
+        // is popped (or the queue drains).
+        let mut levels: Vec<LevelStats> = Vec::new();
+        let mut level = LevelStats {
+            depth: 0,
+            frontier: 0,
+            generated: 0,
+            fresh: 0,
+        };
+        let mut stopped_mid_level = false;
         seen.insert(init.clone());
         queue.push_back((init, 0));
 
         while let Some((cfg, depth)) = queue.pop_front() {
+            if depth > level.depth {
+                levels.push(level);
+                if let Some(f) = &self.on_level {
+                    f(&level);
+                }
+                level = LevelStats {
+                    depth,
+                    frontier: 0,
+                    generated: 0,
+                    fresh: 0,
+                };
+            }
+            level.frontier += 1;
             max_depth_seen = max_depth_seen.max(depth);
             // Check properties of this configuration.
             let dvals = cfg.decision_values(protocol);
@@ -161,6 +224,7 @@ impl<'p, P: Protocol> Explorer<'p, P> {
             if violations.len() > 100 {
                 // Enough evidence; stop collecting.
                 complete = false;
+                stopped_mid_level = true;
                 break;
             }
             if depth >= self.max_depth {
@@ -169,14 +233,22 @@ impl<'p, P: Protocol> Explorer<'p, P> {
             }
             for pid in cfg.eligible(protocol) {
                 for (_, succ) in successors(protocol, &cfg, pid) {
+                    level.generated += 1;
                     if seen.len() >= self.max_configs {
                         complete = false;
                         continue;
                     }
                     if seen.insert(succ.clone()) {
+                        level.fresh += 1;
                         queue.push_back((succ, depth + 1));
                     }
                 }
+            }
+        }
+        if !stopped_mid_level && level.frontier > 0 {
+            levels.push(level);
+            if let Some(f) = &self.on_level {
+                f(&level);
             }
         }
 
@@ -185,6 +257,7 @@ impl<'p, P: Protocol> Explorer<'p, P> {
             violations,
             complete,
             max_depth: max_depth_seen,
+            levels,
         }
     }
 
@@ -198,7 +271,7 @@ impl<'p, P: Protocol> Explorer<'p, P> {
     /// pure functions of a configuration) is fanned out over workers that
     /// claim fixed-size chunks of the frontier from a shared atomic cursor
     /// (deterministic work-stealing: the claim order varies, the per-index
-    /// results do not). The seen-set is a [`ShardedSeen`] keyed by config
+    /// results do not). The seen-set is a sharded hash set keyed by config
     /// hash: read-only during the parallel phase (workers pre-screen
     /// successors against the level-start snapshot), mutated only in the
     /// sequential merge that walks the frontier in index order, replaying
@@ -221,6 +294,7 @@ impl<'p, P: Protocol> Explorer<'p, P> {
         let mut violations = Vec::new();
         let mut complete = true;
         let mut max_depth_seen = 0;
+        let mut levels: Vec<LevelStats> = Vec::new();
         seen.insert(init.clone());
         let mut frontier: Vec<Config<P>> = vec![init];
         let mut depth = 0usize;
@@ -239,6 +313,12 @@ impl<'p, P: Protocol> Explorer<'p, P> {
             // Sequential merge in frontier order: identical to the serial
             // loop popping these configurations from its queue.
             let mut next: Vec<Config<P>> = Vec::new();
+            let mut level = LevelStats {
+                depth,
+                frontier: frontier.len(),
+                generated: 0,
+                fresh: 0,
+            };
             for (idx, exp) in expanded.into_iter().enumerate() {
                 max_depth_seen = max_depth_seen.max(depth);
                 if exp.dvals.len() > 1 {
@@ -248,9 +328,11 @@ impl<'p, P: Protocol> Explorer<'p, P> {
                     });
                 }
                 for v in &exp.dvals {
-                    let ok = self.inputs.iter().enumerate().any(|(i, inp)| {
-                        frontier[idx].active & (1 << i) != 0 && inp == v
-                    });
+                    let ok = self
+                        .inputs
+                        .iter()
+                        .enumerate()
+                        .any(|(i, inp)| frontier[idx].active & (1 << i) != 0 && inp == v);
                     if !ok {
                         violations.push(Violation::Trivial { value: *v, depth });
                     }
@@ -259,6 +341,8 @@ impl<'p, P: Protocol> Explorer<'p, P> {
                     violations.push(Violation::Invariant { message, depth });
                 }
                 if violations.len() > 100 {
+                    // A mid-level stop: the level record is dropped, as in
+                    // the serial path.
                     complete = false;
                     break 'levels;
                 }
@@ -267,6 +351,7 @@ impl<'p, P: Protocol> Explorer<'p, P> {
                     continue;
                 }
                 for succ in exp.succs {
+                    level.generated += 1;
                     if seen.len() >= self.max_configs {
                         complete = false;
                         continue;
@@ -277,10 +362,15 @@ impl<'p, P: Protocol> Explorer<'p, P> {
                     // runs.
                     if let Some(succ) = succ {
                         if seen.insert(succ.clone()) {
+                            level.fresh += 1;
                             next.push(succ);
                         }
                     }
                 }
+            }
+            levels.push(level);
+            if let Some(f) = &self.on_level {
+                f(&level);
             }
             frontier = next;
             depth += 1;
@@ -291,6 +381,7 @@ impl<'p, P: Protocol> Explorer<'p, P> {
             violations,
             complete,
             max_depth: max_depth_seen,
+            levels,
         }
     }
 }
@@ -351,7 +442,14 @@ where
                                     }
                                 }
                             }
-                            out.push((idx, Expanded { dvals, inv_err, succs }));
+                            out.push((
+                                idx,
+                                Expanded {
+                                    dvals,
+                                    inv_err,
+                                    succs,
+                                },
+                            ));
                         }
                     }
                     out
@@ -462,10 +560,7 @@ mod tests {
             })
             .run();
         assert!(!report.safe());
-        assert!(matches!(
-            report.violations[0],
-            Violation::Invariant { .. }
-        ));
+        assert!(matches!(report.violations[0], Violation::Invariant { .. }));
     }
 
     /// A deliberately broken protocol: each processor decides its own input
@@ -481,9 +576,7 @@ mod tests {
             2
         }
         fn registers(&self) -> Vec<cil_registers::RegisterSpec<u8>> {
-            cil_registers::access::per_process_registers(2, 0, |_| {
-                cil_registers::ReaderSet::All
-            })
+            cil_registers::access::per_process_registers(2, 0, |_| cil_registers::ReaderSet::All)
         }
         fn init(&self, _pid: usize, input: Val) -> (Val, bool) {
             (input, false)
@@ -575,6 +668,42 @@ mod tests {
             .jobs(8)
             .par_run();
         assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn level_stats_account_for_the_whole_exploration() {
+        let p = TwoProcessor::new();
+        let report = Explorer::new(&p, &[Val::A, Val::B]).run();
+        assert!(!report.levels.is_empty());
+        // Frontiers partition the explored set; fresh counts seed the next
+        // frontier; depths are consecutive from 0.
+        let popped: usize = report.levels.iter().map(|l| l.frontier).sum();
+        assert_eq!(popped, report.explored);
+        for (i, l) in report.levels.iter().enumerate() {
+            assert_eq!(l.depth, i);
+            assert!(l.fresh <= l.generated, "level {i}");
+            let next_frontier = report.levels.get(i + 1).map_or(0, |n| n.frontier);
+            assert_eq!(l.fresh, next_frontier, "level {i}");
+        }
+    }
+
+    #[test]
+    fn on_level_streams_the_report_levels() {
+        use std::sync::Mutex;
+        let p = TwoProcessor::new();
+        let streamed = Mutex::new(Vec::new());
+        let report = Explorer::new(&p, &[Val::A, Val::B])
+            .on_level(|l| streamed.lock().unwrap().push(*l))
+            .run();
+        assert_eq!(*streamed.lock().unwrap(), report.levels);
+
+        let streamed_par = Mutex::new(Vec::new());
+        let par = Explorer::new(&p, &[Val::A, Val::B])
+            .jobs(4)
+            .on_level(|l| streamed_par.lock().unwrap().push(*l))
+            .par_run();
+        assert_eq!(*streamed_par.lock().unwrap(), par.levels);
+        assert_eq!(report.levels, par.levels);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod valence;
 
 pub use bivalence::{construct_infinite_schedule, InfiniteScheduleDemo};
 pub use config::{is_deterministic, successors, Config};
-pub use explore::{Explorer, Report, Violation};
+pub use explore::{Explorer, LevelStats, Report, Violation};
 pub use lookahead::{min_decide_prob, LookaheadAdversary};
 pub use mdp::{MdpSolver, Objective, PolicyAdversary, Solve};
 pub use valence::{Valence, ValenceMap};

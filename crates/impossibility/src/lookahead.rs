@@ -164,14 +164,10 @@ mod tests {
     fn slows_down_but_cannot_block_fig2() {
         let p = NUnbounded::three();
         for seed in 0..30 {
-            let out = Runner::new(
-                &p,
-                &[Val::A, Val::B, Val::A],
-                LookaheadAdversary::new(3),
-            )
-            .seed(seed)
-            .max_steps(1_000_000)
-            .run();
+            let out = Runner::new(&p, &[Val::A, Val::B, Val::A], LookaheadAdversary::new(3))
+                .seed(seed)
+                .max_steps(1_000_000)
+                .run();
             assert_eq!(out.halt, Halt::Done, "seed {seed}");
             assert!(out.consistent() && out.nontrivial());
         }
@@ -181,14 +177,10 @@ mod tests {
     fn slows_down_but_cannot_block_the_bounded_protocol() {
         let p = ThreeBounded::new();
         for seed in 0..20 {
-            let out = Runner::new(
-                &p,
-                &[Val::B, Val::A, Val::B],
-                LookaheadAdversary::new(3),
-            )
-            .seed(seed)
-            .max_steps(2_000_000)
-            .run();
+            let out = Runner::new(&p, &[Val::B, Val::A, Val::B], LookaheadAdversary::new(3))
+                .seed(seed)
+                .max_steps(2_000_000)
+                .run();
             assert_eq!(out.halt, Halt::Done, "seed {seed}");
             assert!(out.consistent() && out.nontrivial());
         }

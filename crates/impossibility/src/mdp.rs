@@ -142,8 +142,7 @@ impl<P: Protocol> MdpSolver<P> {
                         Objective::StepsOf(t) => f64::from(u8::from(*pid == t)),
                         Objective::TotalSteps => 1.0,
                     };
-                    let val: f64 =
-                        cost + branches.iter().map(|&(p, j)| p * v[j]).sum::<f64>();
+                    let val: f64 = cost + branches.iter().map(|&(p, j)| p * v[j]).sum::<f64>();
                     if val > best {
                         best = val;
                         best_pid = Some(*pid);

@@ -153,7 +153,11 @@ mod tests {
         // I_ab is bivalent for every consistent nontrivial deterministic
         // protocol; verify for the adopt/alternate victims (always-keep is
         // blocked rather than bivalent — it can never decide from a split).
-        for rule in [DetRule::AlwaysAdopt, DetRule::Alternate, DetRule::AdoptIfGreater] {
+        for rule in [
+            DetRule::AlwaysAdopt,
+            DetRule::Alternate,
+            DetRule::AdoptIfGreater,
+        ] {
             let p = DetTwo::new(rule);
             let m = ValenceMap::build(&p, &[Val::A, Val::B], 1_000_000);
             assert!(

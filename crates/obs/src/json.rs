@@ -1,0 +1,241 @@
+//! Minimal dependency-free JSON support: a writer for flat and nested
+//! objects, and a parser for the *flat* one-line objects this workspace's
+//! JSONL event streams are made of.
+//!
+//! The workspace builds fully offline, so `serde_json` is not available;
+//! the event and metrics formats are deliberately simple enough that a
+//! hand-rolled writer/parser covers them completely. Field order is the
+//! insertion order of the writer, so serialization is deterministic —
+//! a requirement for the byte-for-byte replay check in `cil replay`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental writer for one JSON object; fields appear in call order.
+#[derive(Debug, Default)]
+pub struct ObjWriter {
+    buf: String,
+}
+
+impl ObjWriter {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        ObjWriter { buf: String::new() }
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":\"{}\"", escape(key), escape(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn num(mut self, key: &str, value: u64) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), value);
+        self
+    }
+
+    /// Adds a raw, already-serialized JSON value (nested object/array).
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), json);
+        self
+    }
+
+    /// Finishes the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Serializes a slice of integers as a JSON array.
+pub fn num_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+/// A parsed flat JSON value: the event format only uses strings and
+/// unsigned integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A non-negative integer.
+    Num(u64),
+}
+
+impl Value {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Num(_) => None,
+        }
+    }
+
+    /// The integer content, if this is a number.
+    pub fn as_num(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (string and unsigned-integer values only —
+/// exactly what [`ObjWriter`] produces for events).
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax problem encountered.
+pub fn parse_flat(line: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut out = BTreeMap::new();
+    let mut chars = line.trim().chars().peekable();
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        return Ok(out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => Value::Str(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while chars.peek().is_some_and(char::is_ascii_digit) {
+                    num.push(chars.next().expect("peeked"));
+                }
+                Value::Num(num.parse().map_err(|_| format!("bad number '{num}'"))?)
+            }
+            other => return Err(format!("unexpected value start {other:?} for key '{key}'")),
+        };
+        out.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => return Ok(out),
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some(c) if c == want => Ok(()),
+        other => Err(format!("expected '{want}', got {other:?}")),
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u{hex}"))?;
+                    out.push(char::from_u32(code).ok_or(format!("bad codepoint \\u{hex}"))?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_ordered_fields() {
+        let s = ObjWriter::new()
+            .str("type", "step")
+            .num("index", 3)
+            .str("value", "Some(7)")
+            .finish();
+        assert_eq!(s, r#"{"type":"step","index":3,"value":"Some(7)"}"#);
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "a\"b\\c\nd\te\u{1}";
+        let line = ObjWriter::new().str("k", nasty).finish();
+        let parsed = parse_flat(&line).unwrap();
+        assert_eq!(parsed["k"], Value::Str(nasty.to_string()));
+    }
+
+    #[test]
+    fn parse_reads_strings_and_numbers() {
+        let m = parse_flat(r#"{"a": "x", "b": 42}"#).unwrap();
+        assert_eq!(m["a"].as_str(), Some("x"));
+        assert_eq!(m["b"].as_num(), Some(42));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_flat("not json").is_err());
+        assert!(parse_flat(r#"{"a": }"#).is_err());
+        assert!(parse_flat(r#"{"a": "unterminated"#).is_err());
+    }
+
+    #[test]
+    fn num_array_formats() {
+        assert_eq!(num_array(&[]), "[]");
+        assert_eq!(num_array(&[1, 2, 3]), "[1,2,3]");
+    }
+}

@@ -1,0 +1,34 @@
+//! # cil-obs — observability for the CIL reproduction
+//!
+//! The engines in this workspace (the serialized executor, the parallel
+//! Monte-Carlo sweep, the BFS model checker) validate the paper's
+//! quantitative claims with millions of runs; this crate makes those
+//! engines observable without perturbing them:
+//!
+//! * [`metrics`] — a lock-free registry of monotonic counters, gauges, and
+//!   fixed-bucket histograms. Updates are single relaxed atomics and merge
+//!   commutatively, preserving the sweep engine's jobs-count-invariance;
+//!   snapshots render as canonical JSON ([`MetricsSnapshot::to_json`]).
+//! * [`event`] — structured, typed run events (span begin/end, step taken,
+//!   register read/write, coin flip, decision, violation) serialized as
+//!   JSONL through a pluggable [`EventSink`]. A captured stream is enough
+//!   to replay a run exactly and verify the replay byte for byte.
+//! * [`progress`] — live progress: a throttled trials/sec + ETA ticker
+//!   ([`ProgressMeter`]) and a per-BFS-level frontier/dedup reporter
+//!   ([`LevelReporter`]), both rendering to stderr only.
+//!
+//! Everything is dependency-free and instrumentation is always an
+//! `Option`: a disabled sink or meter costs one branch on the hot path
+//! (verified by `cil-bench`'s `obs` benchmark).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod progress;
+
+pub use event::{CoinStage, EventSink, JsonlSink, MemorySink, NullSink, OpKind, RunEvent};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use progress::{LevelReporter, ProgressMeter};

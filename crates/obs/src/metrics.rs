@@ -1,0 +1,425 @@
+//! Lock-free metrics: monotonic counters, gauges, and fixed-bucket
+//! histograms behind a named registry.
+//!
+//! Every mutation is a single relaxed atomic RMW, so instrumented hot loops
+//! (sweep workers, BFS expansion) pay one uncontended atomic per update and
+//! nothing else. All accumulators are **commutative**: per-worker updates
+//! interleave in any order and still produce the same totals, which is what
+//! keeps the sweep engine's jobs-count-invariance intact — `--jobs 1` and
+//! `--jobs 8` export byte-identical snapshots ([`MetricsSnapshot::to_json`]
+//! iterates `BTreeMap`s, so the rendering is canonical too).
+//!
+//! ```
+//! use cil_obs::metrics::Registry;
+//!
+//! let registry = Registry::new();
+//! let trials = registry.counter("sweep.trials");
+//! let steps = registry.histogram("sweep.steps", 1, 64);
+//! trials.inc();
+//! steps.observe(12);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("sweep.trials"), Some(1));
+//! assert!(snap.to_json().contains("\"sweep.steps\""));
+//! ```
+
+use crate::json::{num_array, ObjWriter};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can be set or raised. The merge operation is
+/// `max`, which is commutative, so merged snapshots report the largest
+/// value any worker observed (frontier high-water marks, peak memory, …).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if larger.
+    pub fn raise(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed-width buckets `[0, w), [w, 2w), …` plus an
+/// overflow bucket. With `width = 1` the first `buckets` values are counted
+/// exactly — how the sweep exports the paper's decided-by-k distribution.
+#[derive(Debug)]
+pub struct Histogram {
+    width: u64,
+    counts: Vec<AtomicU64>,
+    overflow: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with `buckets` buckets of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `buckets` is zero.
+    pub fn linear(width: u64, buckets: usize) -> Self {
+        assert!(width > 0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            width,
+            counts: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = (v / self.width) as usize;
+        match self.counts.get(idx) {
+            Some(bucket) => bucket.fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            width: self.width,
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket width.
+    pub width: u64,
+    /// Count per bucket; bucket `i` covers `[i·width, (i+1)·width)`.
+    pub counts: Vec<u64>,
+    /// Observations past the last bucket.
+    pub overflow: u64,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Adds another histogram's buckets in (commutative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes (width, bucket count) differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.width, other.width, "histogram widths differ");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram bucket counts differ"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.sum += other.sum;
+    }
+
+    fn to_json(&self) -> String {
+        ObjWriter::new()
+            .num("width", self.width)
+            .raw("counts", &num_array(&self.counts))
+            .num("overflow", self.overflow)
+            .num("sum", self.sum)
+            .num("count", self.count())
+            .finish()
+    }
+}
+
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics.
+///
+/// Registration (name lookup) takes a mutex — do it once, outside hot
+/// loops — and hands back `Arc` handles whose updates are plain atomics.
+#[derive(Default)]
+pub struct Registry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter with the given name, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut slots = self.slots.lock().expect("registry poisoned");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(Arc::new(Counter::default())))
+        {
+            Slot::Counter(c) => Arc::clone(c),
+            _ => panic!("metric '{name}' is not a counter"),
+        }
+    }
+
+    /// The gauge with the given name, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut slots = self.slots.lock().expect("registry poisoned");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(Arc::new(Gauge::default())))
+        {
+            Slot::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric '{name}' is not a gauge"),
+        }
+    }
+
+    /// The histogram with the given name, created on first use with the
+    /// given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, width: u64, buckets: usize) -> Arc<Histogram> {
+        let mut slots = self.slots.lock().expect("registry poisoned");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Histogram(Arc::new(Histogram::linear(width, buckets))))
+        {
+            Slot::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric '{name}' is not a histogram"),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.slots.lock().expect("registry poisoned");
+        let mut snap = MetricsSnapshot::default();
+        for (name, slot) in slots.iter() {
+            match slot {
+                Slot::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Slot::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Slot::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], mergeable and serializable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// A named counter's value.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// A named histogram's state.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Merges another snapshot in: counters and histograms add, gauges
+    /// take the max. Commutative and associative, mirroring how per-worker
+    /// partials combine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram present in both snapshots has a different
+    /// shape in each.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Canonical JSON rendering: keys sorted, shape
+    /// `{"counters":{…},"gauges":{…},"histograms":{…}}`. Equal snapshots
+    /// produce byte-identical JSON.
+    pub fn to_json(&self) -> String {
+        let map_json = |m: &BTreeMap<String, u64>| {
+            let mut w = ObjWriter::new();
+            for (k, v) in m {
+                w = w.num(k, *v);
+            }
+            w.finish()
+        };
+        let mut hists = ObjWriter::new();
+        for (k, h) in &self.histograms {
+            hists = hists.raw(k, &h.to_json());
+        }
+        ObjWriter::new()
+            .raw("counters", &map_json(&self.counters))
+            .raw("gauges", &map_json(&self.gauges))
+            .raw("histograms", &hists.finish())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_up_across_threads() {
+        let registry = Registry::new();
+        let c = registry.counter("hits");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.snapshot().counter("hits"), Some(8000));
+    }
+
+    #[test]
+    fn gauge_raise_keeps_max() {
+        let g = Gauge::default();
+        g.raise(5);
+        g.raise(3);
+        assert_eq!(g.get(), 5);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::linear(2, 3); // [0,2) [2,4) [4,6) + overflow
+        for v in [0, 1, 2, 5, 99] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1]);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.sum, 107);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative() {
+        let make = |seed: u64| {
+            let r = Registry::new();
+            r.counter("c").add(seed);
+            r.gauge("g").raise(seed * 3);
+            r.histogram("h", 1, 4).observe(seed % 4);
+            r.snapshot()
+        };
+        let (a, b) = (make(2), make(7));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("c"), Some(9));
+        assert_eq!(ab.gauges["g"], 21);
+    }
+
+    #[test]
+    fn json_rendering_is_canonical() {
+        let r = Registry::new();
+        r.counter("b").inc();
+        r.counter("a").add(2);
+        r.histogram("h", 1, 2).observe(1);
+        let json = r.snapshot().to_json();
+        assert_eq!(
+            json,
+            r#"{"counters":{"a":2,"b":1},"gauges":{},"histograms":{"h":{"width":1,"counts":[0,1],"overflow":0,"sum":1,"count":1}}}"#
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge("x");
+        r.counter("x");
+    }
+}

@@ -1,0 +1,217 @@
+//! Live progress reporting: a throttled stderr ticker for long-running
+//! engines.
+//!
+//! [`ProgressMeter`] counts completed work items (trials, leaves) with a
+//! relaxed atomic, and re-renders a single `\r`-overwritten stderr line at
+//! most once per throttle interval — workers tick freely from any thread
+//! and almost every tick is one atomic add plus one atomic load.
+//! [`LevelReporter`] renders one line per BFS level (levels are orders of
+//! magnitude rarer than items, so no throttling is needed there).
+//!
+//! Progress output goes to **stderr** only: stdout stays reserved for
+//! results, and none of the deterministic outputs (sweep digests, reports)
+//! depend on whether a meter is attached.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Milliseconds between renders.
+const THROTTLE_MS: u64 = 200;
+
+/// A thread-safe work counter with a throttled stderr rendering.
+#[derive(Debug)]
+pub struct ProgressMeter {
+    label: String,
+    total: Option<u64>,
+    done: AtomicU64,
+    started: Instant,
+    /// Milliseconds-since-start of the last render; workers race to claim
+    /// the next render with a compare-exchange.
+    last_render: AtomicU64,
+    quiet: bool,
+}
+
+impl ProgressMeter {
+    /// A meter for `total` work items (`None` = unknown total), labelled in
+    /// the rendered line.
+    pub fn new(label: &str, total: Option<u64>) -> Self {
+        ProgressMeter {
+            label: label.to_string(),
+            total,
+            done: AtomicU64::new(0),
+            started: Instant::now(),
+            last_render: AtomicU64::new(0),
+            quiet: false,
+        }
+    }
+
+    /// Disables stderr output (the counters still work) — used by tests
+    /// and benchmarks.
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    /// Records `n` completed items; re-renders if the throttle interval
+    /// has elapsed.
+    pub fn tick(&self, n: u64) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        let elapsed_ms = self.started.elapsed().as_millis() as u64;
+        let last = self.last_render.load(Ordering::Relaxed);
+        if elapsed_ms.saturating_sub(last) < THROTTLE_MS {
+            return;
+        }
+        // One worker wins the race to render this interval.
+        if self
+            .last_render
+            .compare_exchange(last, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.render(done, false);
+        }
+    }
+
+    /// Items completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Completed items per second since the meter started.
+    pub fn rate(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.done() as f64 / secs
+        }
+    }
+
+    /// Estimated seconds until `total` items are done (`None` if the total
+    /// is unknown or the rate is still zero).
+    pub fn eta_secs(&self) -> Option<f64> {
+        let total = self.total?;
+        let rate = self.rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        Some(total.saturating_sub(self.done()) as f64 / rate)
+    }
+
+    /// Renders a final line (with newline) and returns the counter.
+    pub fn finish(&self) -> u64 {
+        let done = self.done();
+        self.render(done, true);
+        done
+    }
+
+    fn render(&self, done: u64, last: bool) {
+        if self.quiet {
+            return;
+        }
+        let mut line = format!("\r{}: {done}", self.label);
+        if let Some(total) = self.total {
+            let pct = if total == 0 {
+                100.0
+            } else {
+                100.0 * done as f64 / total as f64
+            };
+            line.push_str(&format!("/{total} ({pct:.1}%)"));
+        }
+        line.push_str(&format!("  {:.0}/s", self.rate()));
+        if let (false, Some(eta)) = (last, self.eta_secs()) {
+            line.push_str(&format!("  ETA {eta:.1}s"));
+        }
+        if last {
+            line.push_str(&format!(
+                "  in {:.2}s",
+                self.started.elapsed().as_secs_f64()
+            ));
+            eprintln!("{line}");
+        } else {
+            eprint!("{line}");
+        }
+    }
+}
+
+/// Per-level progress for breadth-first exploration: frontier size,
+/// successors generated, and the dedup hit rate, one stderr line per level.
+#[derive(Debug)]
+pub struct LevelReporter {
+    label: String,
+    started: Instant,
+    quiet: bool,
+}
+
+impl LevelReporter {
+    /// A reporter labelled in each rendered line.
+    pub fn new(label: &str) -> Self {
+        LevelReporter {
+            label: label.to_string(),
+            started: Instant::now(),
+            quiet: false,
+        }
+    }
+
+    /// Disables stderr output.
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    /// Reports one completed BFS level: `frontier` configurations expanded,
+    /// `generated` successors produced, `fresh` of them new.
+    pub fn level(&self, depth: usize, frontier: usize, generated: usize, fresh: usize) {
+        if self.quiet {
+            return;
+        }
+        let dups = generated.saturating_sub(fresh);
+        let hit_rate = if generated == 0 {
+            0.0
+        } else {
+            100.0 * dups as f64 / generated as f64
+        };
+        eprintln!(
+            "{}: depth {depth:>3}  frontier {frontier:>9}  generated {generated:>9}  \
+             dedup-hit {hit_rate:5.1}%  t={:.2}s",
+            self.label,
+            self.started.elapsed().as_secs_f64()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_accumulate_across_threads() {
+        let m = ProgressMeter::new("test", Some(800)).quiet();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        m.tick(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.finish(), 800);
+        assert!(m.rate() > 0.0);
+        assert_eq!(m.eta_secs().map(|e| e.round() as u64), Some(0));
+    }
+
+    #[test]
+    fn unknown_total_has_no_eta() {
+        let m = ProgressMeter::new("x", None).quiet();
+        m.tick(5);
+        assert_eq!(m.done(), 5);
+        assert!(m.eta_secs().is_none());
+    }
+
+    #[test]
+    fn level_reporter_is_callable_when_quiet() {
+        let r = LevelReporter::new("bfs").quiet();
+        r.level(0, 1, 5, 5);
+        r.level(1, 5, 20, 12);
+    }
+}

@@ -306,15 +306,7 @@ pub fn per_process_registers<V: Clone>(
     readers: impl Fn(usize) -> ReaderSet,
 ) -> Vec<RegisterSpec<V>> {
     (0..n)
-        .map(|i| {
-            RegisterSpec::new(
-                RegId(i),
-                format!("r{i}"),
-                Pid(i),
-                readers(i),
-                init.clone(),
-            )
-        })
+        .map(|i| RegisterSpec::new(RegId(i), format!("r{i}"), Pid(i), readers(i), init.clone()))
         .collect()
 }
 

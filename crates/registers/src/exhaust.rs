@@ -127,6 +127,25 @@ pub fn explore_par<F>(max_leaves: usize, jobs: usize, scenario: F) -> (usize, u6
 where
     F: Fn(&mut Chooser) -> bool + Sync,
 {
+    explore_par_observed(max_leaves, jobs, None, scenario)
+}
+
+/// [`explore_par`] with an optional live progress meter ticked once per
+/// leaf.
+///
+/// The meter only accumulates an atomic counter and throttles its own
+/// rendering, so attaching it cannot change the `(leaves, flagged)`
+/// counts; it exists to make long enumerations (e.g. the overlap-semantics
+/// checkers) visibly alive on stderr.
+pub fn explore_par_observed<F>(
+    max_leaves: usize,
+    jobs: usize,
+    progress: Option<&cil_obs::ProgressMeter>,
+    scenario: F,
+) -> (usize, u64)
+where
+    F: Fn(&mut Chooser) -> bool + Sync,
+{
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let jobs = if jobs == 0 {
@@ -143,6 +162,9 @@ where
     let probe_flag = scenario(&mut probe);
     if probe.script.is_empty() {
         // No choice points: a single leaf, already run.
+        if let Some(meter) = progress {
+            meter.tick(1);
+        }
         return (1, u64::from(probe_flag));
     }
     let root_arity = probe.script[0].1;
@@ -168,6 +190,9 @@ where
                 flagged += 1;
             }
             leaves += 1;
+            if let Some(meter) = progress {
+                meter.tick(1);
+            }
             if !ch.advance() {
                 break;
             }
@@ -281,6 +306,20 @@ mod tests {
             assert_eq!(leaves, serial_leaves, "jobs = {jobs}");
             assert_eq!(flagged, serial_flagged, "jobs = {jobs}");
         }
+    }
+
+    #[test]
+    fn observed_exploration_ticks_once_per_leaf() {
+        let scenario = |ch: &mut Chooser| -> bool {
+            let a = ch.choose(3);
+            ch.choose(2);
+            a == 2
+        };
+        let (plain_leaves, plain_flagged) = explore_par(usize::MAX, 4, scenario);
+        let meter = cil_obs::ProgressMeter::new("exhaust", None).quiet();
+        let (leaves, flagged) = explore_par_observed(usize::MAX, 4, Some(&meter), scenario);
+        assert_eq!((leaves, flagged), (plain_leaves, plain_flagged));
+        assert_eq!(meter.done(), leaves as u64);
     }
 
     #[test]

@@ -15,9 +15,10 @@
 
 use crate::adversary::{Adversary, View};
 use crate::faults::CrashPlan;
-use crate::protocol::{Op, Protocol, Val};
+use crate::protocol::{Choice, Op, Protocol, Val};
 use crate::rng::Xoshiro256StarStar;
 use crate::trace::{Event, Trace};
+use cil_obs::{CoinStage, EventSink, OpKind, RunEvent};
 use cil_registers::{Pid, SharedMemory};
 
 /// When the run loop halts.
@@ -115,7 +116,6 @@ impl<P: Protocol> RunOutcome<P> {
 
 /// Builder/executor for a single run. Reusable protocols: the runner borrows
 /// the protocol, so sweeps construct one protocol and many runners.
-#[derive(Debug)]
 pub struct Runner<'p, P: Protocol, A: Adversary<P>> {
     protocol: &'p P,
     adversary: A,
@@ -125,6 +125,7 @@ pub struct Runner<'p, P: Protocol, A: Adversary<P>> {
     stop: StopWhen,
     crash_plan: CrashPlan,
     record_trace: bool,
+    sink: Option<&'p mut dyn EventSink>,
 }
 
 impl<'p, P: Protocol, A: Adversary<P>> Runner<'p, P, A> {
@@ -149,6 +150,7 @@ impl<'p, P: Protocol, A: Adversary<P>> Runner<'p, P, A> {
             stop: StopWhen::AllDecided,
             crash_plan: CrashPlan::none(),
             record_trace: false,
+            sink: None,
         }
     }
 
@@ -182,6 +184,15 @@ impl<'p, P: Protocol, A: Adversary<P>> Runner<'p, P, A> {
         self
     }
 
+    /// Streams structured [`RunEvent`]s (span begin/end, every step with
+    /// its register operation and value, coin flips, decisions) into the
+    /// given sink as the run executes. Without a sink the run loop pays
+    /// one branch per step and formats nothing.
+    pub fn events(mut self, sink: &'p mut dyn EventSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Executes the run.
     ///
     /// # Panics
@@ -202,6 +213,13 @@ impl<'p, P: Protocol, A: Adversary<P>> Runner<'p, P, A> {
         let mut crashed = vec![false; n];
         let mut total: u64 = 0;
         let mut trace = self.record_trace.then(Trace::new);
+        let mut sink = self.sink.take();
+        if let Some(s) = sink.as_deref_mut() {
+            s.emit(&RunEvent::SpanBegin {
+                name: "run".into(),
+                detail: protocol.name(),
+            });
+        }
         let halt;
 
         loop {
@@ -210,8 +228,7 @@ impl<'p, P: Protocol, A: Adversary<P>> Runner<'p, P, A> {
                 crashed[pid] = true;
             }
             // Stop conditions.
-            let decided =
-                |states: &[P::State], i: usize| protocol.decision(&states[i]).is_some();
+            let decided = |states: &[P::State], i: usize| protocol.decision(&states[i]).is_some();
             let stop_met = match self.stop {
                 StopWhen::AllDecided => (0..n).all(|i| crashed[i] || decided(&states, i)),
                 StopWhen::PidDecided(t) => decided(&states, t) || crashed[t],
@@ -252,7 +269,9 @@ impl<'p, P: Protocol, A: Adversary<P>> Runner<'p, P, A> {
             );
 
             // One step: sample op, apply, sample transition.
-            let op = protocol.choose(pid, &states[pid]).sample(&mut rng).clone();
+            let choice = protocol.choose(pid, &states[pid]);
+            emit_coin(&mut sink, &choice, total, pid, CoinStage::Choose);
+            let op = choice.sample(&mut rng).clone();
             let read_value = match &op {
                 Op::Read(r) => Some(
                     memory
@@ -267,13 +286,22 @@ impl<'p, P: Protocol, A: Adversary<P>> Runner<'p, P, A> {
                     None
                 }
             };
-            let next = protocol
-                .transit(pid, &states[pid], &op, read_value.as_ref())
-                .sample(&mut rng)
-                .clone();
+            let transition = protocol.transit(pid, &states[pid], &op, read_value.as_ref());
+            emit_coin(&mut sink, &transition, total, pid, CoinStage::Transit);
+            let next = transition.sample(&mut rng).clone();
             states[pid] = next;
             steps[pid] += 1;
             total += 1;
+            if let Some(s) = sink.as_deref_mut() {
+                s.emit(&step_event(total - 1, pid, &op, read_value.as_ref()));
+                if let Some(v) = protocol.decision(&states[pid]) {
+                    s.emit(&RunEvent::Decision {
+                        index: total - 1,
+                        pid,
+                        value: v.0,
+                    });
+                }
+            }
             if let Some(t) = &mut trace {
                 t.push(Event {
                     index: total - 1,
@@ -282,6 +310,13 @@ impl<'p, P: Protocol, A: Adversary<P>> Runner<'p, P, A> {
                     read: read_value,
                 });
             }
+        }
+        if let Some(s) = sink {
+            s.emit(&RunEvent::SpanEnd {
+                name: "run".into(),
+                detail: format!("{halt:?}"),
+            });
+            s.flush();
         }
 
         let decisions = states.iter().map(|s| protocol.decision(s)).collect();
@@ -295,6 +330,54 @@ impl<'p, P: Protocol, A: Adversary<P>> Runner<'p, P, A> {
             final_states: states,
             halt,
             trace,
+        }
+    }
+}
+
+/// Renders one executed step as a structured event. The value field is the
+/// written value for writes and the value read for reads, in the register
+/// type's `Debug` form — the same rendering every time, so captured streams
+/// are byte-for-byte reproducible.
+fn step_event<R: std::fmt::Debug>(
+    index: u64,
+    pid: usize,
+    op: &Op<R>,
+    read: Option<&R>,
+) -> RunEvent {
+    match op {
+        Op::Read(r) => RunEvent::Step {
+            index,
+            pid,
+            op: OpKind::Read,
+            reg: r.0,
+            value: read.map_or_else(|| "?".to_string(), |v| format!("{v:?}")),
+        },
+        Op::Write(r, v) => RunEvent::Step {
+            index,
+            pid,
+            op: OpKind::Write,
+            reg: r.0,
+            value: format!("{v:?}"),
+        },
+    }
+}
+
+/// Emits a coin-flip event if the choice is probabilistic.
+fn emit_coin<T>(
+    sink: &mut Option<&mut dyn EventSink>,
+    choice: &Choice<T>,
+    index: u64,
+    pid: usize,
+    stage: CoinStage,
+) {
+    if let Some(s) = sink.as_deref_mut() {
+        if !choice.is_det() {
+            s.emit(&RunEvent::CoinFlip {
+                index,
+                pid,
+                stage,
+                branches: choice.branches().len(),
+            });
         }
     }
 }
@@ -340,9 +423,7 @@ mod tests {
         fn choose(&self, pid: usize, state: &S) -> Choice<Op<Self::Reg>> {
             match state {
                 S::Start(v) => Choice::det(Op::Write(RegId(pid), Some(*v))),
-                S::AfterWrite(_) => {
-                    Choice::det(Op::Read(RegId((pid + self.n - 1) % self.n)))
-                }
+                S::AfterWrite(_) => Choice::det(Op::Read(RegId((pid + self.n - 1) % self.n))),
                 S::Done(_) => unreachable!("decided processors are not scheduled"),
             }
         }
@@ -423,15 +504,11 @@ mod tests {
         let p = WriteReadDecide { n: 2 };
         // Crash P1 immediately; P0 still decides (wait-freedom of the toy),
         // so force a wait by stopping on P1's decision instead.
-        let out = Runner::new(
-            &p,
-            &[Val(0), Val(1)],
-            RoundRobin::new(),
-        )
-        .crashes(CrashPlan::none().crash(1, 0))
-        .stop_when(StopWhen::PidDecided(1))
-        .max_steps(100)
-        .run();
+        let out = Runner::new(&p, &[Val(0), Val(1)], RoundRobin::new())
+            .crashes(CrashPlan::none().crash(1, 0))
+            .stop_when(StopWhen::PidDecided(1))
+            .max_steps(100)
+            .run();
         // P1 crashed before deciding; stop condition treats that as done.
         assert_eq!(out.halt, Halt::Done);
         assert_eq!(out.decisions[1], None);
@@ -464,6 +541,74 @@ mod tests {
     }
 
     #[test]
+    fn event_stream_mirrors_the_trace() {
+        use cil_obs::{MemorySink, OpKind, RunEvent};
+        let p = WriteReadDecide { n: 2 };
+        let mut sink = MemorySink::new();
+        let out = Runner::new(&p, &[Val(0), Val(1)], RoundRobin::new())
+            .record_trace(true)
+            .events(&mut sink)
+            .run();
+        let trace = out.trace.unwrap();
+        let steps: Vec<&RunEvent> = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::Step { .. }))
+            .collect();
+        assert_eq!(steps.len(), trace.len());
+        for (event, recorded) in steps.iter().zip(trace.events()) {
+            let RunEvent::Step {
+                index,
+                pid,
+                op,
+                reg,
+                ..
+            } = event
+            else {
+                unreachable!()
+            };
+            assert_eq!(*index, recorded.index);
+            assert_eq!(*pid, recorded.pid);
+            assert_eq!(*reg, recorded.op.reg().0);
+            assert_eq!(*op == OpKind::Write, recorded.op.is_write());
+        }
+        // Spans bracket the stream; both processors decide.
+        assert!(matches!(
+            sink.events.first(),
+            Some(RunEvent::SpanBegin { .. })
+        ));
+        assert!(matches!(sink.events.last(), Some(RunEvent::SpanEnd { .. })));
+        let decisions = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::Decision { .. }))
+            .count();
+        assert_eq!(decisions, 2);
+        // The toy protocol is deterministic: no coin flips.
+        assert!(!sink
+            .events
+            .iter()
+            .any(|e| matches!(e, RunEvent::CoinFlip { .. })));
+    }
+
+    #[test]
+    fn event_stream_does_not_perturb_the_run() {
+        let p = WriteReadDecide { n: 3 };
+        let plain = Runner::new(&p, &[Val(0), Val(1), Val(2)], RandomScheduler::new(5))
+            .seed(9)
+            .record_trace(true)
+            .run();
+        let mut sink = cil_obs::MemorySink::new();
+        let observed = Runner::new(&p, &[Val(0), Val(1), Val(2)], RandomScheduler::new(5))
+            .seed(9)
+            .record_trace(true)
+            .events(&mut sink)
+            .run();
+        assert_eq!(plain.trace.unwrap(), observed.trace.unwrap());
+        assert_eq!(plain.decisions, observed.decisions);
+    }
+
+    #[test]
     fn same_seed_reproduces_run_exactly() {
         let p = WriteReadDecide { n: 3 };
         let a = Runner::new(&p, &[Val(0), Val(1), Val(2)], RandomScheduler::new(5))
@@ -474,9 +619,6 @@ mod tests {
             .seed(9)
             .record_trace(true)
             .run();
-        assert_eq!(
-            a.trace.unwrap().schedule(),
-            b.trace.unwrap().schedule()
-        );
+        assert_eq!(a.trace.unwrap().schedule(), b.trace.unwrap().schedule());
     }
 }

@@ -76,7 +76,8 @@ pub use faults::CrashPlan;
 pub use protocol::{Choice, Op, Protocol, Val};
 pub use rng::{Rng, ScriptedCoins, SplitMix64, Xoshiro256StarStar};
 pub use sweep::{
-    resolve_jobs, FailureSample, SweepStats, Trial, TrialOutcome, TrialResult, TrialSweep,
+    resolve_jobs, FailureSample, SweepObserver, SweepStats, Trial, TrialOutcome, TrialResult,
+    TrialSweep,
 };
 pub use threads::{run_on_threads, ThreadOutcome};
 pub use trace::{parse_schedule, Event, Trace};

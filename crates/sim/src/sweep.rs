@@ -54,8 +54,11 @@
 use crate::executor::{Halt, RunOutcome};
 use crate::protocol::Protocol;
 use crate::rng::{Rng as _, Xoshiro256StarStar};
+use cil_obs::metrics::{Counter, Histogram, Registry};
+use cil_obs::ProgressMeter;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One trial's identity within a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -340,6 +343,87 @@ impl SweepStats {
     }
 }
 
+/// Live observation hooks for a sweep: lock-free metrics and an optional
+/// progress ticker.
+///
+/// All counters and histograms are `cil-obs` atomics whose updates
+/// commute, so attaching an observer never perturbs the sweep's
+/// [determinism contract](self): the exported metrics — like the
+/// [`SweepStats`] digest — are identical at every `--jobs` setting, and
+/// the stats themselves are byte-identical with and without an observer.
+///
+/// Registered metrics (under the `sweep.` prefix): `trials`, `decided`,
+/// `undecided`, `inconsistent`, `trivial`, `flagged` counters, and the
+/// `steps` / `decided_by_k` histograms (bucket width 1, so small step
+/// counts — e.g. the paper's Fig. 1 decided-by-k distribution — are
+/// recovered exactly from an exported snapshot).
+pub struct SweepObserver {
+    trials: Arc<Counter>,
+    decided: Arc<Counter>,
+    undecided: Arc<Counter>,
+    inconsistent: Arc<Counter>,
+    trivial: Arc<Counter>,
+    flagged: Arc<Counter>,
+    steps: Arc<Histogram>,
+    decided_by_k: Arc<Histogram>,
+    progress: Option<ProgressMeter>,
+}
+
+/// Histogram buckets kept per metric distribution (width 1, plus an
+/// overflow bucket for anything ≥ this).
+const SWEEP_HIST_BUCKETS: usize = 512;
+
+impl SweepObserver {
+    /// An observer registering its metrics in `registry` under `sweep.*`.
+    pub fn new(registry: &Registry) -> Self {
+        SweepObserver {
+            trials: registry.counter("sweep.trials"),
+            decided: registry.counter("sweep.decided"),
+            undecided: registry.counter("sweep.undecided"),
+            inconsistent: registry.counter("sweep.inconsistent"),
+            trivial: registry.counter("sweep.trivial"),
+            flagged: registry.counter("sweep.flagged"),
+            steps: registry.histogram("sweep.steps", 1, SWEEP_HIST_BUCKETS),
+            decided_by_k: registry.histogram("sweep.decided_by_k", 1, SWEEP_HIST_BUCKETS),
+            progress: None,
+        }
+    }
+
+    /// Attaches a live progress meter (trials/sec + ETA on stderr).
+    pub fn with_progress(mut self, meter: ProgressMeter) -> Self {
+        self.progress = Some(meter);
+        self
+    }
+
+    /// Folds one trial's result into the metrics (commutative, lock-free).
+    pub fn record(&self, result: &TrialResult) {
+        self.trials.inc();
+        self.steps.observe(result.metric);
+        match result.outcome {
+            TrialOutcome::Decided => {
+                self.decided.inc();
+                self.decided_by_k.observe(result.metric);
+            }
+            TrialOutcome::Undecided => self.undecided.inc(),
+            TrialOutcome::Inconsistent => self.inconsistent.inc(),
+            TrialOutcome::Trivial => self.trivial.inc(),
+        }
+        if result.flagged {
+            self.flagged.inc();
+        }
+        if let Some(meter) = &self.progress {
+            meter.tick(1);
+        }
+    }
+
+    /// Finalizes the progress line, if a meter is attached.
+    pub fn finish(&self) {
+        if let Some(meter) = &self.progress {
+            meter.finish();
+        }
+    }
+}
+
 /// Builder for a parallel trial sweep. See the [module docs](self) for the
 /// determinism contract.
 #[derive(Debug, Clone)]
@@ -397,16 +481,35 @@ impl TrialSweep {
     where
         F: Fn(Trial) -> TrialResult + Sync,
     {
+        self.run_observed(None, trial_fn)
+    }
+
+    /// [`TrialSweep::run`] with an optional [`SweepObserver`] receiving
+    /// every trial result as it completes. The observer only touches
+    /// commutative atomics, so the returned [`SweepStats`] — and the
+    /// observer's own exported metrics — are identical at every worker
+    /// count, and identical to an unobserved run.
+    pub fn run_observed<F>(&self, observer: Option<&SweepObserver>, trial_fn: F) -> SweepStats
+    where
+        F: Fn(Trial) -> TrialResult + Sync,
+    {
         let jobs = self.effective_jobs().max(1);
         let trial_at = |index: u64| Trial {
             index,
             seed: crate::SplitMix64::jump(self.root_seed, index).next_u64(),
         };
+        let absorb_one = |stats: &mut SweepStats, index: u64| {
+            let result = trial_fn(trial_at(index));
+            if let Some(o) = observer {
+                o.record(&result);
+            }
+            stats.absorb(index, result);
+        };
 
         if jobs == 1 || self.trials <= 1 {
             let mut stats = SweepStats::new(self.max_failure_samples);
             for index in 0..self.trials {
-                stats.absorb(index, trial_fn(trial_at(index)));
+                absorb_one(&mut stats, index);
             }
             return stats;
         }
@@ -427,7 +530,7 @@ impl TrialSweep {
                             }
                             let end = (start + CLAIM_CHUNK).min(trials);
                             for index in start..end {
-                                local.absorb(index, trial_fn(trial_at(index)));
+                                absorb_one(&mut local, index);
                             }
                         }
                         local
@@ -475,11 +578,8 @@ mod tests {
             metric,
             outcome,
             flagged: trial.index.is_multiple_of(10),
-            schedule: matches!(
-                outcome,
-                TrialOutcome::Inconsistent | TrialOutcome::Trivial
-            )
-            .then(|| vec![(trial.index % 3) as usize, 1, 0]),
+            schedule: matches!(outcome, TrialOutcome::Inconsistent | TrialOutcome::Trivial)
+                .then(|| vec![(trial.index % 3) as usize, 1, 0]),
         }
     }
 
@@ -498,10 +598,7 @@ mod tests {
     fn counters_partition_the_trials() {
         let stats = TrialSweep::new(1000).jobs(4).run(toy);
         assert_eq!(stats.trials, 1000);
-        assert_eq!(
-            stats.decided + stats.undecided + stats.violations(),
-            1000
-        );
+        assert_eq!(stats.decided + stats.undecided + stats.violations(), 1000);
         assert_eq!(stats.metric_hist.values().sum::<u64>(), 1000);
         assert_eq!(stats.decided_by_k.values().sum::<u64>(), stats.decided);
         assert_eq!(stats.flagged, 100);
@@ -509,7 +606,10 @@ mod tests {
 
     #[test]
     fn failures_keep_lowest_trial_indices() {
-        let stats = TrialSweep::new(2000).jobs(8).max_failure_samples(4).run(toy);
+        let stats = TrialSweep::new(2000)
+            .jobs(8)
+            .max_failure_samples(4)
+            .run(toy);
         let kept: Vec<u64> = stats.failures.iter().map(|f| f.trial).collect();
         // Lowest failing indices: 7 and 96 (i % 89 == 7), 13 and 110
         // (i % 97 == 13), ...; the lowest four overall.
@@ -556,5 +656,43 @@ mod tests {
     fn resolve_jobs_zero_is_at_least_one() {
         assert!(resolve_jobs(0) >= 1);
         assert_eq!(resolve_jobs(5), 5);
+    }
+
+    #[test]
+    fn observer_does_not_change_stats_or_digest() {
+        let base = TrialSweep::new(400).root_seed(9);
+        let plain = base.clone().jobs(1).run(toy);
+        let registry = Registry::new();
+        let observer = SweepObserver::new(&registry);
+        let observed = base.clone().jobs(4).run_observed(Some(&observer), toy);
+        assert_eq!(plain, observed);
+        assert_eq!(plain.digest(), observed.digest());
+    }
+
+    #[test]
+    fn observer_metrics_are_jobs_invariant_and_match_stats() {
+        let base = TrialSweep::new(600).root_seed(3);
+        let mut snapshots = Vec::new();
+        for jobs in [1, 2, 8] {
+            let registry = Registry::new();
+            let observer = SweepObserver::new(&registry);
+            let stats = base.clone().jobs(jobs).run_observed(Some(&observer), toy);
+            let snap = registry.snapshot();
+            assert_eq!(snap.counters["sweep.trials"], stats.trials, "jobs={jobs}");
+            assert_eq!(snap.counters["sweep.decided"], stats.decided, "jobs={jobs}");
+            assert_eq!(
+                snap.counters["sweep.undecided"], stats.undecided,
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                snap.counters["sweep.inconsistent"] + snap.counters["sweep.trivial"],
+                stats.violations(),
+                "jobs={jobs}"
+            );
+            assert_eq!(snap.histograms["sweep.steps"].count(), stats.trials);
+            snapshots.push(snap);
+        }
+        assert_eq!(snapshots[0].to_json(), snapshots[1].to_json());
+        assert_eq!(snapshots[0].to_json(), snapshots[2].to_json());
     }
 }

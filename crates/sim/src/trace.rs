@@ -23,7 +23,7 @@ pub struct Event<R> {
 }
 
 /// A recorded run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace<R> {
     events: Vec<Event<R>>,
 }
@@ -66,6 +66,22 @@ impl<R> Trace<R> {
     }
 }
 
+/// The **stable** textual trace format, one line per step:
+///
+/// ```text
+/// INDEX  P<pid> read  r<reg> -> VALUE
+/// INDEX  P<pid> write r<reg> <- VALUE
+/// ```
+///
+/// Columns, in order: the global step index right-aligned in 5 characters,
+/// two spaces, the processor as `P<pid>`, one space, the operation keyword
+/// (`read ` padded to five characters, `write`), one space, the register as
+/// `r<id>`, then ` -> ` and the value read (reads) or ` <- ` and the value
+/// written (writes), rendered with the register type's `Debug`
+/// implementation. This is the format `cil run --trace` prints; it is
+/// covered by a golden test (`trace_text_format_is_stable` in
+/// `tests/tests/obs_replay.rs`) so it cannot drift silently — change it
+/// only together with that test and the documentation.
 impl<R: fmt::Debug> fmt::Display for Trace<R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for e in &self.events {

@@ -13,8 +13,8 @@ use cil_core::naive::Naive;
 use cil_core::three_bounded::ThreeBounded;
 use cil_core::two::TwoProcessor;
 use cil_sim::{
-    BoxedAdversary, Halt, LaggardFirst, Protocol, RandomScheduler, RoundRobin, Runner,
-    SplitKeeper, Val,
+    BoxedAdversary, Halt, LaggardFirst, Protocol, RandomScheduler, RoundRobin, Runner, SplitKeeper,
+    Val,
 };
 
 const RUNS: u64 = 300;
@@ -23,10 +23,22 @@ type AdversaryFactory<P> = Box<dyn Fn(u64) -> BoxedAdversary<P>>;
 
 fn adversaries<P: Protocol>() -> Vec<(&'static str, AdversaryFactory<P>)> {
     vec![
-        ("round-robin", Box::new(|_| Box::new(RoundRobin::new()) as _)),
-        ("random", Box::new(|s| Box::new(RandomScheduler::new(s)) as _)),
-        ("split-keeper", Box::new(|_| Box::new(SplitKeeper::new()) as _)),
-        ("laggard-first", Box::new(|_| Box::new(LaggardFirst::new()) as _)),
+        (
+            "round-robin",
+            Box::new(|_| Box::new(RoundRobin::new()) as _),
+        ),
+        (
+            "random",
+            Box::new(|s| Box::new(RandomScheduler::new(s)) as _),
+        ),
+        (
+            "split-keeper",
+            Box::new(|_| Box::new(SplitKeeper::new()) as _),
+        ),
+        (
+            "laggard-first",
+            Box::new(|_| Box::new(LaggardFirst::new()) as _),
+        ),
     ]
 }
 
@@ -71,7 +83,11 @@ fn main() {
     println!();
     println!("{}", "-".repeat(34 + 14 * 4));
 
-    gauntlet("two-processor (Fig. 1)", &TwoProcessor::new(), &[Val::A, Val::B]);
+    gauntlet(
+        "two-processor (Fig. 1)",
+        &TwoProcessor::new(),
+        &[Val::A, Val::B],
+    );
     gauntlet(
         "three-processor unbounded (Fig. 2)",
         &NUnbounded::three(),

@@ -65,7 +65,11 @@ fn main() {
         println!(
             "  {rule:<18} initial {initial}; drove {} steps, decisions: {}",
             demo.schedule.len(),
-            if demo.anyone_decided { "SOME (bug!)" } else { "none" }
+            if demo.anyone_decided {
+                "SOME (bug!)"
+            } else {
+                "none"
+            }
         );
     }
     println!("\nevery victim stalled forever — deterministic coordination is impossible ✓");

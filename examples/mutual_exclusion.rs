@@ -38,11 +38,21 @@ fn main() {
             out.steps[0],
             out.steps[1],
             out.steps[2],
-            if round % 2 == 0 { "random" } else { "split-keeper" }
+            if round % 2 == 0 {
+                "random"
+            } else {
+                "split-keeper"
+            }
         );
     }
 
-    println!("\nwins: P0 = {}, P1 = {}, P2 = {}", wins[0], wins[1], wins[2]);
-    assert!(log.mutual_exclusion_holds(), "two workers in the CS at once!");
+    println!(
+        "\nwins: P0 = {}, P1 = {}, P2 = {}",
+        wins[0], wins[1], wins[2]
+    );
+    assert!(
+        log.mutual_exclusion_holds(),
+        "two workers in the CS at once!"
+    );
     println!("mutual exclusion held across all {} rounds ✓", log.len());
 }

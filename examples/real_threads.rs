@@ -18,7 +18,9 @@ fn main() {
         let out = run_on_threads(&p2, &[Val::A, Val::B], seed, 1_000_000);
         println!(
             "  seed {seed}: decisions {:?}  steps {:?}  agreed: {:?}",
-            out.decisions, out.steps, out.agreed()
+            out.decisions,
+            out.steps,
+            out.agreed()
         );
         assert!(out.agreed().is_some(), "threads must agree");
     }
@@ -29,7 +31,9 @@ fn main() {
         let out = run_on_threads(&p3, &[Val::A, Val::B, Val::A], seed, 1_000_000);
         println!(
             "  seed {seed}: decisions {:?}  steps {:?}  agreed: {:?}",
-            out.decisions, out.steps, out.agreed()
+            out.decisions,
+            out.steps,
+            out.agreed()
         );
         assert!(out.agreed().is_some(), "threads must agree");
     }
@@ -41,7 +45,9 @@ fn main() {
         let out = run_on_threads(&pb, &[Val::B, Val::A, Val::B], seed, 1_000_000);
         println!(
             "  seed {seed}: decisions {:?}  steps {:?}  agreed: {:?}",
-            out.decisions, out.steps, out.agreed()
+            out.decisions,
+            out.steps,
+            out.agreed()
         );
         assert!(out.agreed().is_some(), "threads must agree");
     }

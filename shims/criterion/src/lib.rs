@@ -69,7 +69,10 @@ pub struct Criterion {}
 impl Criterion {
     /// Benchmarks `f` under `name`, printing the mean time per iteration.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
         f(&mut b);
         report(name, &b);
         self
@@ -77,7 +80,10 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.to_string() }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -91,7 +97,10 @@ impl BenchmarkGroup<'_> {
     /// Benchmarks `f` under `group/id`.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
         let id = id.into();
-        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
         f(&mut b);
         report(&format!("{}/{}", self.name, id.0), &b);
     }
@@ -103,7 +112,10 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) {
-        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
         f(&mut b, input);
         report(&format!("{}/{}", self.name, id.0), &b);
     }
@@ -138,7 +150,11 @@ fn report(name: &str, b: &Bencher) {
         println!("{name:<40} (no measurement)");
     } else {
         let per_iter = b.total / b.iters;
-        println!("{name:<40} {:>12}/iter  ({} iters)", fmt_duration(per_iter), b.iters);
+        println!(
+            "{name:<40} {:>12}/iter  ({} iters)",
+            fmt_duration(per_iter),
+            b.iters
+        );
     }
 }
 

@@ -2,7 +2,7 @@
 //! dataflow the experiment harness uses, plus property tests of the
 //! statistics against naive reference computations.
 
-use cil_analysis::{linear_fit, wilson95, OnlineStats, TailEstimator, Table};
+use cil_analysis::{linear_fit, wilson95, OnlineStats, Table, TailEstimator};
 use cil_core::two::TwoProcessor;
 use cil_sim::{RandomScheduler, Runner, StopWhen, Val};
 use proptest::prelude::*;
@@ -22,17 +22,24 @@ fn steps_pipeline_matches_paper_scale() {
         stats.push(o.steps[0] as f64);
         tail.push(o.steps[0]);
     }
-    assert!(stats.mean() >= 2.0 && stats.mean() <= 10.0, "mean {}", stats.mean());
+    assert!(
+        stats.mean() >= 2.0 && stats.mean() <= 10.0,
+        "mean {}",
+        stats.mean()
+    );
     // The empirical survival must respect the worst-case law (3/4)^((k-2)/2)
     // with sampling slack.
     assert_eq!(
-        tail.violates_bound(|k| {
-            if k <= 2 {
-                1.0
-            } else {
-                0.75f64.powf((k as f64 - 2.0) / 2.0)
-            }
-        }, 1.10),
+        tail.violates_bound(
+            |k| {
+                if k <= 2 {
+                    1.0
+                } else {
+                    0.75f64.powf((k as f64 - 2.0) / 2.0)
+                }
+            },
+            1.10
+        ),
         None
     );
     // And decay geometrically.

@@ -94,7 +94,10 @@ fn five_processor_crash_matrix_sampled() {
                 .crashes(plan)
                 .max_steps(5_000_000)
                 .run();
-            assert!(out.decisions[survivor].is_some(), "survivor {survivor} stuck");
+            assert!(
+                out.decisions[survivor].is_some(),
+                "survivor {survivor} stuck"
+            );
             assert!(out.consistent() && out.nontrivial());
         }
     }

@@ -14,7 +14,11 @@ fn bounded_inner_engine_reaches_agreement() {
     let k = 8u64;
     let p = KValued::new(ThreeBounded::new(), k);
     for seed in 0..100u64 {
-        let inputs = [Val(seed % k), Val((seed * 3 + 1) % k), Val((seed * 5 + 2) % k)];
+        let inputs = [
+            Val(seed % k),
+            Val((seed * 3 + 1) % k),
+            Val((seed * 5 + 2) % k),
+        ];
         let out = Runner::new(&p, &inputs, RandomScheduler::new(seed))
             .seed(seed)
             .max_steps(5_000_000)

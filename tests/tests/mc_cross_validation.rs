@@ -33,13 +33,9 @@ fn univalent_configurations_predict_simulation_outcomes() {
             cfg = successors(&p, &cfg, pid).pop().unwrap().1;
             if let Valence::Univalent(v) = map.valence(&cfg) {
                 // Simulate a full run continuing with this prefix.
-                let out = Runner::new(
-                    &p,
-                    &inputs,
-                    FixedSchedule::new(schedule[..=i].to_vec()),
-                )
-                .max_steps(10_000)
-                .run();
+                let out = Runner::new(&p, &inputs, FixedSchedule::new(schedule[..=i].to_vec()))
+                    .max_steps(10_000)
+                    .run();
                 if let Some(d) = out.agreement() {
                     assert_eq!(d, v, "simulation contradicts valence analysis");
                 }
