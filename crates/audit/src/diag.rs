@@ -1,0 +1,134 @@
+//! Audit diagnostics: the model clauses the analyzer enforces and the
+//! violations it reports.
+//!
+//! Every violation names (1) the **clause** of the paper's §2 model (or the
+//! Theorem 6 consistency precondition) that is broken, (2) the **state** the
+//! offending processor was in, and (3) the **step** — the edge index of the
+//! symbolic walk at which the violation was found plus the offending
+//! register operation — so a rejected protocol is debuggable from the
+//! diagnostic alone.
+
+use std::fmt;
+
+/// The model clause a violation breaks.
+///
+/// Clause letters match the audit checks: (a) access sets, (b) width
+/// bounds, (c) coin measures, (d) decision stability, (e) purity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Clause {
+    /// (a) §2: every register carries declared reader/writer sets
+    /// `R_r`/`W_r`, and each step's single operation must respect them.
+    AccessSets,
+    /// (b) §2 "bounded size registers" / result R2 ("single … bit-sized
+    /// registers"): every written value must pack into the register's
+    /// declared bit width.
+    WidthBound,
+    /// (c) §2: a probabilistic step carries "a probability measure" over
+    /// successor moves — branch weights must be a well-formed measure.
+    CoinMeasure,
+    /// (d) Theorem 6 consistency precondition: decisions are irrevocable
+    /// ("decide v and quit") — a decided state must not write or change
+    /// its decision.
+    DecisionStable,
+    /// (e) §2: processors are (probabilistic) automata — `choose`,
+    /// `transit` and `decision` must be pure functions of their arguments,
+    /// so a recorded RNG transcript replays to the identical run.
+    Purity,
+    /// Clause 0: the register specification itself must be well-formed
+    /// (dense ids, valid widths, processor ids in range).
+    SpecInvalid,
+}
+
+impl Clause {
+    /// Short stable identifier used in reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            Clause::AccessSets => "access-sets",
+            Clause::WidthBound => "width-bound",
+            Clause::CoinMeasure => "coin-measure",
+            Clause::DecisionStable => "decision-stable",
+            Clause::Purity => "purity",
+            Clause::SpecInvalid => "spec-invalid",
+        }
+    }
+
+    /// The paper clause the check enforces.
+    pub fn paper_clause(self) -> &'static str {
+        match self {
+            Clause::AccessSets => "§2 reader/writer sets R_r/W_r",
+            Clause::WidthBound => "§2/R2 bounded register size",
+            Clause::CoinMeasure => "§2 probability measure on steps",
+            Clause::DecisionStable => "Theorem 6 irrevocable decisions",
+            Clause::Purity => "§2 pure probabilistic automata",
+            Clause::SpecInvalid => "§2 register specification",
+        }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.key(), self.paper_clause())
+    }
+}
+
+/// One model-compliance violation found by the static analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated paper clause.
+    pub clause: Clause,
+    /// The offending processor.
+    pub pid: usize,
+    /// `Debug` rendering of the processor state the violation occurs in.
+    pub state: String,
+    /// Edge index of the symbolic walk at which the violation was found.
+    pub step: u64,
+    /// What exactly went wrong (operation, value, bound, …).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] P{} at state {} (step {}): {}",
+            self.clause, self.pid, self.state, self.step, self.detail
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_names_state_step_and_clause() {
+        let v = Violation {
+            clause: Clause::WidthBound,
+            pid: 1,
+            state: "AboutToWrite { mine: Val(0) }".into(),
+            step: 11,
+            detail: "write r1 <- Some(Val(1)) packs to 2 > max 1".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("width-bound"), "{s}");
+        assert!(s.contains("§2/R2 bounded register size"), "{s}");
+        assert!(s.contains("P1"), "{s}");
+        assert!(s.contains("AboutToWrite"), "{s}");
+        assert!(s.contains("step 11"), "{s}");
+    }
+
+    #[test]
+    fn clause_keys_are_distinct() {
+        use std::collections::HashSet;
+        let all = [
+            Clause::AccessSets,
+            Clause::WidthBound,
+            Clause::CoinMeasure,
+            Clause::DecisionStable,
+            Clause::Purity,
+            Clause::SpecInvalid,
+        ];
+        let keys: HashSet<_> = all.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), all.len());
+    }
+}

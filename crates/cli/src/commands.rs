@@ -1,10 +1,12 @@
 //! The `cil` subcommands.
 
 use crate::args::{parse_inputs, Args};
+use crate::CliFailure;
 use cil_analysis::fnum;
+use cil_audit::{AuditReport, Auditor, MutantKind, MutantTwo, TraceAuditor};
 use cil_core::apps::{elect_leader, MutexLog};
 use cil_core::deterministic::{DetRule, DetTwo};
-use cil_core::kvalued::KValued;
+use cil_core::kvalued::{KReg, KValued};
 use cil_core::n_unbounded::NUnbounded;
 use cil_core::n_unbounded_1w1r::NUnbounded1W1R;
 use cil_core::naive::Naive;
@@ -29,8 +31,14 @@ pub fn help() -> String {
 USAGE:
   cil run       --protocol <P> --inputs a,b[,..] [--adversary <A>] [--seed N]
                 [--max-steps N] [--trace] [--trace-json <file>]
-  cil replay    <file>                             re-execute a --trace-json
-                capture and verify the regenerated event stream byte-for-byte
+  cil replay    <file> [--audit]                   re-execute a --trace-json
+                capture and verify the regenerated event stream byte-for-byte;
+                --audit additionally verifies the capture is a serialization
+                of atomic register operations (happens-before audit)
+  cil audit     [<P>|all|mutant:<M>]               static model-compliance
+                analysis: walk the per-processor transition graph and check
+                access sets, width bounds, coin measures, decision stability
+                and purity against the paper's §2 / Theorem 6 clauses
   cil sweep     --protocol <P> --inputs a,b[,..] [--adversary <A>] [--trials N]
                 [--seed N] [--max-steps N] [--jobs N] [--progress]
                 [--metrics-out <file>]             parallel Monte-Carlo sweep
@@ -53,6 +61,12 @@ OBSERVABILITY: --progress renders a live rate/ETA (sweep) or per-level BFS
       line (check) on stderr; --metrics-out writes a canonical-JSON metrics
       snapshot; --trace-json captures a structured JSONL event stream that
       `cil replay` re-executes and verifies. None of these change results.
+MUTANTS <M>: width-overflow | unauthorized-reader | unstable-decision
+      | non-normalized-coin — the two-processor protocol with one planted
+      model violation each; `cil audit mutant:<M>` must reject all four.
+EXIT CODES: 0 = success; 1 = verification failed (`cil audit` found model
+      violations, `cil replay` found trace anomalies or divergence — the
+      report is printed on stdout); 2 = usage or I/O error (stderr).
 "
     .to_string()
 }
@@ -223,25 +237,34 @@ where
     Ok(String::from_utf8(sink.into_inner()).expect("events are valid UTF-8"))
 }
 
-/// `cil replay <file>` — re-execute a `--trace-json` capture and verify the
-/// regenerated event stream matches the captured one byte-for-byte.
+/// `cil replay <file> [--audit]` — re-execute a `--trace-json` capture and
+/// verify the regenerated event stream matches the captured one
+/// byte-for-byte. With `--audit`, first verify the capture is a valid
+/// serialization of atomic register operations (happens-before audit: no
+/// stale/phantom reads, declared access sets respected, decisions
+/// irrevocable).
 ///
 /// The executor's coin RNG is independent of the adversary's randomness, so
 /// re-running the captured *schedule* (the pids of the step events) with the
 /// captured seed reproduces every coin flip, step, and decision exactly.
-pub fn replay(args: &Args) -> Result<String, String> {
+///
+/// # Errors
+///
+/// [`CliFailure::Audit`] (exit 1) on trace anomalies or divergence;
+/// [`CliFailure::Usage`] (exit 2) on unreadable or malformed captures.
+pub fn replay(args: &Args) -> Result<String, CliFailure> {
     let path = args
         .pos(0)
         .or_else(|| args.get("file"))
-        .ok_or("replay needs a capture file: cil replay <out.jsonl>")?;
+        .ok_or_else(|| "replay needs a capture file: cil replay <out.jsonl>".to_string())?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     let mut lines = text.lines();
     let meta_line = lines.next().ok_or_else(|| format!("'{path}' is empty"))?;
     let meta = json::parse_flat(meta_line).map_err(|e| format!("bad meta line: {e}"))?;
     if meta.get("type").and_then(Value::as_str) != Some("meta") {
-        return Err(format!(
+        return Err(CliFailure::Usage(format!(
             "'{path}' does not start with a meta record (capture with cil run --trace-json)"
-        ));
+        )));
     }
     let meta_str = |k: &str| {
         meta.get(k)
@@ -294,28 +317,181 @@ pub fn replay(args: &Args) -> Result<String, String> {
         sched_spec,
     ];
     let inner = Args::parse(tokens, &[])?;
+
+    // Happens-before audit of the captured stream, before re-execution: the
+    // capture's own claim — "I am a serialization of atomic register
+    // operations" — is checked against the protocol's declared registers.
+    let mut audit_section = String::new();
+    if args.flag("audit") {
+        let auditor = with_protocol!(&inner, trace_auditor_one)?;
+        let report = auditor.audit_jsonl(&captured.join("\n"))?;
+        audit_section = report.render();
+        if !report.ok() {
+            return Err(CliFailure::Audit(format!(
+                "trace '{path}' FAILED the happens-before audit:\n{audit_section}"
+            )));
+        }
+    }
+
     let regenerated = with_protocol!(&inner, capture_events_one)?;
     let regen: Vec<&str> = regenerated.lines().collect();
     for (i, (a, b)) in captured.iter().zip(&regen).enumerate() {
         if a != b {
-            return Err(format!(
+            return Err(CliFailure::Audit(format!(
                 "replay DIVERGED at event {i}:\n  captured: {a}\n  replayed: {b}"
-            ));
+            )));
         }
     }
     if captured.len() != regen.len() {
-        return Err(format!(
+        return Err(CliFailure::Audit(format!(
             "replay DIVERGED: {} captured events vs {} replayed",
             captured.len(),
             regen.len()
-        ));
+        )));
     }
-    Ok(format!(
+    let mut s = format!(
         "replayed {protocol} from '{path}' (seed {seed}, {} steps)\n\
          {} events re-executed — trace matches byte-for-byte ✓\n",
         schedule.len(),
         captured.len()
-    ))
+    );
+    if !audit_section.is_empty() {
+        let _ = writeln!(s, "\nhappens-before audit of the capture:");
+        s.push_str(&audit_section);
+    }
+    Ok(s)
+}
+
+/// Builds the happens-before auditor for a protocol (used by
+/// `cil replay --audit`).
+fn trace_auditor_one<P: Protocol + 'static>(
+    protocol: &P,
+    _args: &Args,
+) -> Result<TraceAuditor, String> {
+    Ok(TraceAuditor::for_protocol(protocol))
+}
+
+/// How far the symbolic walk explores protocols with unbounded counters
+/// (the §5 `num` field): enough to exercise every program location several
+/// times while keeping `cil audit all` instant.
+const UNBOUNDED_WALK_STATES: usize = 600;
+
+/// Audits one protocol spec. Each protocol supplies its own packer so the
+/// width-bound check (b) sees the same encoding `cil threads` executes on.
+fn audit_one(spec: &str) -> Result<AuditReport, String> {
+    Ok(match spec {
+        "two" => Auditor::new(&TwoProcessor::new()).with_packable().run(),
+        "fig2" => Auditor::new(&NUnbounded::three())
+            .with_packable()
+            .with_max_states(UNBOUNDED_WALK_STATES)
+            .run(),
+        "fig2-literal" => Auditor::new(&NUnbounded::literal_fig2(3))
+            .with_packable()
+            .with_max_states(UNBOUNDED_WALK_STATES)
+            .run(),
+        "fig2-1w1r" => Auditor::new(&NUnbounded1W1R::three())
+            .with_packable()
+            .with_max_states(UNBOUNDED_WALK_STATES)
+            .run(),
+        "fig3" => Auditor::new(&ThreeBounded::new()).with_packable().run(),
+        "naive" => Auditor::new(&Naive::new(3)).with_packable().run(),
+        s if s.starts_with("det:") => {
+            let rule = parse_rule(&s["det:".len()..])?;
+            Auditor::new(&DetTwo::new(rule)).with_packable().run()
+        }
+        s if s.starts_with("n:") => {
+            let n: usize = s[2..]
+                .parse()
+                .map_err(|_| format!("bad processor count in '{s}'"))?;
+            Auditor::new(&NUnbounded::new(n))
+                .with_packable()
+                .with_max_states(UNBOUNDED_WALK_STATES)
+                .run()
+        }
+        s if s.starts_with("kvalued:") => {
+            let k: u64 = s["kvalued:".len()..]
+                .parse()
+                .map_err(|_| format!("bad k in '{s}'"))?;
+            // KReg cannot implement Packable (Inner/Cand words are
+            // ambiguous on unpack), so the packer is supplied by hand:
+            // the same encoding the register specs' widths were sized for.
+            Auditor::new(&KValued::new(TwoProcessor::new(), k))
+                .with_inputs((0..k.max(2)).map(Val))
+                .with_packer(|r: &KReg<cil_core::two::TwoReg>| match r {
+                    KReg::Inner(inner) => inner.pack(),
+                    KReg::Cand(c) => c.map_or(0, |v| v + 1),
+                })
+                .run()
+        }
+        s if s.starts_with("mutant:") => {
+            let kind = MutantKind::parse(&s["mutant:".len()..]).ok_or_else(|| {
+                format!(
+                    "unknown mutant in '{s}' (one of: {})",
+                    MutantKind::all().map(|k| k.key()).join(" | ")
+                )
+            })?;
+            Auditor::new(&MutantTwo::new(kind)).with_packable().run()
+        }
+        other => return Err(format!("unknown protocol '{other}' (see cil help)")),
+    })
+}
+
+/// The specs `cil audit all` covers: every built-in protocol family,
+/// including a Theorem 4 deterministic victim and the k-valued composite.
+const AUDIT_ALL: &[&str] = &[
+    "two",
+    "fig2",
+    "fig2-literal",
+    "fig2-1w1r",
+    "fig3",
+    "naive",
+    "det:always-adopt",
+    "n:4",
+    "kvalued:4",
+];
+
+/// `cil audit [<P>|all|mutant:<M>]` — static model-compliance analysis.
+///
+/// # Errors
+///
+/// [`CliFailure::Audit`] (exit 1) when any audited protocol violates a
+/// model clause; [`CliFailure::Usage`] (exit 2) for unknown specs.
+pub fn audit(args: &Args) -> Result<String, CliFailure> {
+    let spec = args
+        .pos(0)
+        .or_else(|| args.get("protocol"))
+        .unwrap_or("all")
+        .to_string();
+    let specs: Vec<&str> = if spec == "all" {
+        AUDIT_ALL.to_vec()
+    } else {
+        vec![spec.as_str()]
+    };
+    let mut out = String::new();
+    let mut failed = 0usize;
+    for (i, s) in specs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let report = audit_one(s).map_err(CliFailure::Usage)?;
+        if !report.ok() {
+            failed += 1;
+        }
+        out.push_str(&report.render());
+    }
+    if specs.len() > 1 {
+        let _ = writeln!(
+            out,
+            "\n{}/{} protocols pass the model-compliance audit",
+            specs.len() - failed,
+            specs.len()
+        );
+    }
+    if failed > 0 {
+        Err(CliFailure::Audit(out))
+    } else {
+        Ok(out)
+    }
 }
 
 fn sweep_one<P: Protocol + Sync + 'static>(protocol: &P, args: &Args) -> Result<String, String>
@@ -520,15 +696,20 @@ pub fn mdp(args: &Args) -> Result<String, String> {
     Ok(s)
 }
 
+/// Parses a deterministic-rule name (shared by `theorem4` and `audit`).
+fn parse_rule(name: &str) -> Result<DetRule, String> {
+    match name {
+        "always-adopt" => Ok(DetRule::AlwaysAdopt),
+        "always-keep" => Ok(DetRule::AlwaysKeep),
+        "adopt-if-greater" => Ok(DetRule::AdoptIfGreater),
+        "alternate" => Ok(DetRule::Alternate),
+        other => Err(format!("unknown rule '{other}' (see cil help)")),
+    }
+}
+
 /// `cil theorem4` — run the impossibility construction.
 pub fn theorem4(args: &Args) -> Result<String, String> {
-    let rule = match args.get_or("rule", "always-adopt") {
-        "always-adopt" => DetRule::AlwaysAdopt,
-        "always-keep" => DetRule::AlwaysKeep,
-        "adopt-if-greater" => DetRule::AdoptIfGreater,
-        "alternate" => DetRule::Alternate,
-        other => return Err(format!("unknown rule '{other}' (see cil help)")),
-    };
+    let rule = parse_rule(args.get_or("rule", "always-adopt"))?;
     let steps = args.get_u64("steps", 100_000)? as usize;
     let p = DetTwo::new(rule);
     match construct_infinite_schedule(&p, &[Val::A, Val::B], steps, 1_000_000) {

@@ -31,26 +31,78 @@ pub mod commands;
 
 pub use args::{parse_inputs, Args};
 
+/// Why a dispatch failed, mapped to distinct process exit codes by the
+/// binary (documented in `cil help` under EXIT CODES).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliFailure {
+    /// Usage, parse or I/O error — exit code 2, message on stderr.
+    Usage(String),
+    /// A verification failed: `cil audit` found model violations, or
+    /// `cil replay` found trace anomalies / divergence — exit code 1, the
+    /// report on stdout.
+    Audit(String),
+}
+
+impl From<String> for CliFailure {
+    fn from(message: String) -> Self {
+        CliFailure::Usage(message)
+    }
+}
+
+impl CliFailure {
+    /// The failure text, regardless of kind.
+    pub fn message(&self) -> &str {
+        match self {
+            CliFailure::Usage(m) | CliFailure::Audit(m) => m,
+        }
+    }
+
+    /// The process exit code this failure maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliFailure::Usage(_) => 2,
+            CliFailure::Audit(_) => 1,
+        }
+    }
+}
+
 /// Entry point used by the binary: dispatches a full command line (without
 /// the program name) and returns the text to print.
 ///
 /// # Errors
 ///
-/// Returns a usage message for unknown commands or malformed options.
-pub fn dispatch<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, String> {
-    let args = Args::parse(tokens, &["trace", "literal", "progress", "stats"])?;
+/// [`CliFailure::Usage`] for unknown commands or malformed options;
+/// [`CliFailure::Audit`] when an audit or replay verification fails.
+pub fn dispatch_full<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, CliFailure> {
+    let args = Args::parse(tokens, &["trace", "literal", "progress", "stats", "audit"])
+        .map_err(CliFailure::Usage)?;
+    let usage = |r: Result<String, String>| r.map_err(CliFailure::Usage);
     match args.command.as_str() {
-        "run" => commands::run(&args),
+        "run" => usage(commands::run(&args)),
         "replay" => commands::replay(&args),
-        "sweep" => commands::sweep(&args),
-        "check" => commands::check(&args),
-        "mdp" => commands::mdp(&args),
-        "theorem4" => commands::theorem4(&args),
-        "elect" => commands::elect(&args),
-        "threads" => commands::threads(&args),
+        "audit" => commands::audit(&args),
+        "sweep" => usage(commands::sweep(&args)),
+        "check" => usage(commands::check(&args)),
+        "mdp" => usage(commands::mdp(&args)),
+        "theorem4" => usage(commands::theorem4(&args)),
+        "elect" => usage(commands::elect(&args)),
+        "threads" => usage(commands::threads(&args)),
         "" | "help" | "--help" | "-h" => Ok(commands::help()),
-        other => Err(format!("unknown command '{other}'\n\n{}", commands::help())),
+        other => Err(CliFailure::Usage(format!(
+            "unknown command '{other}'\n\n{}",
+            commands::help()
+        ))),
     }
+}
+
+/// Like [`dispatch_full`] but with the failure flattened to its message —
+/// kept for callers that do not distinguish exit codes.
+///
+/// # Errors
+///
+/// Returns the failure message for any [`CliFailure`].
+pub fn dispatch<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, String> {
+    dispatch_full(tokens).map_err(|f| f.message().to_string())
 }
 
 #[cfg(test)]

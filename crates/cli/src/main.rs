@@ -1,12 +1,20 @@
-//! The `cil` binary: see [`cil_cli::dispatch`] and `cil help`.
+//! The `cil` binary: see [`cil_cli::dispatch_full`] and `cil help`.
+
+use cil_cli::CliFailure;
 
 fn main() {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
-    match cil_cli::dispatch(tokens) {
+    match cil_cli::dispatch_full(tokens) {
         Ok(text) => print!("{text}"),
-        Err(message) => {
-            eprintln!("error: {message}");
-            std::process::exit(2);
+        // Verification failures print their report on stdout and exit 1 so
+        // scripts can distinguish "model violated" from "bad invocation".
+        Err(failure @ CliFailure::Audit(_)) => {
+            print!("{}", failure.message());
+            std::process::exit(failure.exit_code());
+        }
+        Err(failure) => {
+            eprintln!("error: {}", failure.message());
+            std::process::exit(failure.exit_code());
         }
     }
 }

@@ -146,9 +146,13 @@ impl Protocol for DetTwo {
     }
 
     fn registers(&self) -> Vec<RegisterSpec<Option<Val>>> {
+        // Same 2-bit 1W1R layout as the randomized Fig. 1 protocol: the
+        // domain {⊥, a, b} packs to {0, 1, 2}.
         vec![
-            RegisterSpec::new(RegId(0), "r0", 0.into(), ReaderSet::only([1.into()]), None),
-            RegisterSpec::new(RegId(1), "r1", 1.into(), ReaderSet::only([0.into()]), None),
+            RegisterSpec::new(RegId(0), "r0", 0.into(), ReaderSet::only([1.into()]), None)
+                .with_width(2),
+            RegisterSpec::new(RegId(1), "r1", 1.into(), ReaderSet::only([0.into()]), None)
+                .with_width(2),
         ]
     }
 

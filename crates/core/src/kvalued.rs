@@ -184,23 +184,32 @@ impl<P: Protocol> Protocol for KValued<P> {
         for round in 0..self.rounds {
             for spec in self.inner.registers() {
                 let id = self.inner_reg(round, spec.id.0);
-                specs.push(RegisterSpec::new(
-                    id,
-                    format!("round{round}.{}", spec.name),
-                    spec.writer,
-                    spec.readers.clone(),
-                    KReg::Inner(spec.init),
-                ));
+                specs.push(
+                    RegisterSpec::new(
+                        id,
+                        format!("round{round}.{}", spec.name),
+                        spec.writer,
+                        spec.readers.clone(),
+                        KReg::Inner(spec.init),
+                    )
+                    // Each inner instance inherits its register's bound.
+                    .with_width(spec.width_bits),
+                );
             }
         }
+        // Candidate registers hold {⊥} ∪ 0..k, packed as 0..=k.
+        let cand_width = 64 - self.k.leading_zeros();
         for pid in 0..self.n() {
-            specs.push(RegisterSpec::new(
-                self.cand_reg(pid),
-                format!("cand{pid}"),
-                pid.into(),
-                ReaderSet::only(self.peers(pid).map(Into::into)),
-                KReg::Cand(None),
-            ));
+            specs.push(
+                RegisterSpec::new(
+                    self.cand_reg(pid),
+                    format!("cand{pid}"),
+                    pid.into(),
+                    ReaderSet::only(self.peers(pid).map(Into::into)),
+                    KReg::Cand(None),
+                )
+                .with_width(cand_width),
+            );
         }
         specs
     }

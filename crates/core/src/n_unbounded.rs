@@ -249,6 +249,12 @@ impl Protocol for NUnbounded {
             // 1-writer (n−1)-reader: everyone but the owner reads.
             ReaderSet::only((0..self.n).filter(|&j| j != i).map(Into::into))
         })
+        .into_iter()
+        // §5's registers are unbounded in principle (num grows without
+        // bound); the declared width is the full word the packing uses
+        // (pref in the top 16 bits, num in the low 48 — see `packing.rs`).
+        .map(|s| s.with_width(64))
+        .collect()
     }
 
     fn init(&self, _pid: usize, input: Val) -> NState {

@@ -122,13 +122,18 @@ impl Protocol for NUnbounded1W1R {
         for writer in 0..self.n {
             for reader in self.peers(writer) {
                 let id = self.pair_reg(writer, reader);
-                specs.push(RegisterSpec::new(
-                    id,
-                    format!("r{writer}->{reader}"),
-                    writer.into(),
-                    ReaderSet::only([reader.into()]),
-                    NReg::BOT,
-                ));
+                specs.push(
+                    RegisterSpec::new(
+                        id,
+                        format!("r{writer}->{reader}"),
+                        writer.into(),
+                        ReaderSet::only([reader.into()]),
+                        NReg::BOT,
+                    )
+                    // Same unbounded `(pref, num)` contents as Fig. 2: the
+                    // declared width is the full packed word.
+                    .with_width(64),
+                );
             }
         }
         // pair_reg enumerates ids densely in writer-major order.

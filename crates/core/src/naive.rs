@@ -78,9 +78,13 @@ impl Protocol for Naive {
     }
 
     fn registers(&self) -> Vec<RegisterSpec<NaiveReg>> {
+        // Three-value domain {⊥, a, b} → 2 bits, as in Fig. 1.
         cil_registers::access::per_process_registers(self.n, None, |i| {
             ReaderSet::only((0..self.n).filter(|&j| j != i).map(Into::into))
         })
+        .into_iter()
+        .map(|s| s.with_width(2))
+        .collect()
     }
 
     fn init(&self, _pid: usize, input: Val) -> NaiveState {

@@ -469,9 +469,14 @@ impl Protocol for ThreeBounded {
     }
 
     fn registers(&self) -> Vec<RegisterSpec<BReg>> {
+        // The §6 point: registers are *bounded*. The 75-value alphabet
+        // (see `register_alphabet`) packs densely into 7 bits.
         cil_registers::access::per_process_registers(3, BReg::Bot, |i| {
             ReaderSet::only((0..3).filter(|&j| j != i).map(Into::into))
         })
+        .into_iter()
+        .map(|s| s.with_width(7))
+        .collect()
     }
 
     fn init(&self, _pid: usize, input: Val) -> BState {

@@ -97,9 +97,12 @@ impl Protocol for TwoProcessor {
     fn registers(&self) -> Vec<RegisterSpec<TwoReg>> {
         // 1-writer 1-reader bounded registers: r_i is written by P_i and
         // read only by P_{1-i} — the most restricted class in the paper.
+        // Width 2 bits: the three-value domain {⊥, a, b} packs to {0, 1, 2}.
         vec![
-            RegisterSpec::new(RegId(0), "r0", 0.into(), ReaderSet::only([1.into()]), None),
-            RegisterSpec::new(RegId(1), "r1", 1.into(), ReaderSet::only([0.into()]), None),
+            RegisterSpec::new(RegId(0), "r0", 0.into(), ReaderSet::only([1.into()]), None)
+                .with_width(2),
+            RegisterSpec::new(RegId(1), "r1", 1.into(), ReaderSet::only([0.into()]), None)
+                .with_width(2),
         ]
     }
 

@@ -86,7 +86,7 @@ impl ReaderSet {
 }
 
 /// Static description of one shared register: identity, single writer,
-/// reader set and initial contents.
+/// reader set, declared bit width and initial contents.
 ///
 /// In every initial configuration of the paper all shared registers contain
 /// the default value ⊥; the `init` field is that default, expressed in the
@@ -101,12 +101,22 @@ pub struct RegisterSpec<V> {
     pub writer: Pid,
     /// The processors allowed to read.
     pub readers: ReaderSet,
+    /// Declared bit width of the register (`1..=64`).
+    ///
+    /// The paper's registers are *bounded size*; this field is the bound.
+    /// Every value the owner may write must pack (see
+    /// [`Packable`](crate::Packable)) into this many bits — a whole-protocol
+    /// guarantee checked statically by `cil-audit`, and the substance of the
+    /// R2 claim that single *bit-sized* 1W1R registers suffice. Defaults to
+    /// a full machine word (64); narrow it with
+    /// [`with_width`](RegisterSpec::with_width).
+    pub width_bits: u32,
     /// Initial contents (the paper's ⊥).
     pub init: V,
 }
 
 impl<V> RegisterSpec<V> {
-    /// Creates a new register description.
+    /// Creates a new register description with the default full-word width.
     pub fn new(
         id: RegId,
         name: impl Into<String>,
@@ -119,7 +129,31 @@ impl<V> RegisterSpec<V> {
             name: name.into(),
             writer,
             readers,
+            width_bits: 64,
             init,
+        }
+    }
+
+    /// Declares the register's bounded bit width (`1..=64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or exceeds 64.
+    pub fn with_width(mut self, bits: u32) -> Self {
+        assert!(
+            (1..=64).contains(&bits),
+            "register width must be 1..=64 bits, got {bits}"
+        );
+        self.width_bits = bits;
+        self
+    }
+
+    /// The largest word value representable at the declared width.
+    pub fn max_word(&self) -> u64 {
+        if self.width_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width_bits) - 1
         }
     }
 }
@@ -197,6 +231,12 @@ impl<V: Clone> SharedMemory<V> {
             }
             if !seen.insert(s.id) {
                 return Err(AccessError::BadSpec(format!("duplicate id {}", s.id)));
+            }
+            if s.width_bits == 0 || s.width_bits > 64 {
+                return Err(AccessError::BadSpec(format!(
+                    "register '{}' declares width {} (must be 1..=64 bits)",
+                    s.name, s.width_bits
+                )));
             }
         }
         let cells = specs.iter().map(|s| s.init.clone()).collect();
@@ -418,5 +458,31 @@ mod tests {
     #[test]
     fn all_reader_set_allows_everyone() {
         assert!(ReaderSet::All.allows(Pid(17)));
+    }
+
+    #[test]
+    fn width_declaration_round_trips() {
+        let s = RegisterSpec::new(RegId(0), "r0", Pid(0), ReaderSet::All, 0u8);
+        assert_eq!(s.width_bits, 64);
+        assert_eq!(s.max_word(), u64::MAX);
+        let narrow = s.with_width(2);
+        assert_eq!(narrow.width_bits, 2);
+        assert_eq!(narrow.max_word(), 3);
+    }
+
+    #[test]
+    fn zero_width_spec_is_rejected() {
+        let mut s = RegisterSpec::new(RegId(0), "r0", Pid(0), ReaderSet::All, 0u8);
+        s.width_bits = 0; // bypass the with_width assertion
+        assert!(matches!(
+            SharedMemory::new(vec![s]),
+            Err(AccessError::BadSpec(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be 1..=64")]
+    fn oversized_width_panics_in_builder() {
+        let _ = RegisterSpec::new(RegId(0), "r0", Pid(0), ReaderSet::All, 0u8).with_width(65);
     }
 }

@@ -83,6 +83,14 @@ impl<R> Op<R> {
     pub fn is_write(&self) -> bool {
         matches!(self, Op::Write(..))
     }
+
+    /// The value a write operation carries (`None` for reads).
+    pub fn write_value(&self) -> Option<&R> {
+        match self {
+            Op::Read(_) => None,
+            Op::Write(_, v) => Some(v),
+        }
+    }
 }
 
 /// A finite probability distribution given by positive integer weights.
@@ -136,9 +144,28 @@ impl<T> Choice<T> {
         Choice { branches }
     }
 
+    /// Builds a choice from raw branches **without validating** that the
+    /// weights form a probability measure.
+    ///
+    /// Every checked constructor ([`det`](Choice::det), [`coin`](Choice::coin),
+    /// [`uniform`](Choice::uniform), [`weighted`](Choice::weighted)) rejects
+    /// empty or zero-weight branch lists, so well-behaved protocols never
+    /// need this. It exists for fault injection: seeded mutation protocols
+    /// use it to smuggle a malformed measure past the constructors, and the
+    /// `cil-audit` static analyzer must catch it (its check (c): coin-flip
+    /// weights are well-formed probability measures).
+    pub fn weighted_raw(branches: Vec<(u32, T)>) -> Self {
+        Choice { branches }
+    }
+
     /// The weighted branches (weight, outcome).
     pub fn branches(&self) -> &[(u32, T)] {
         &self.branches
+    }
+
+    /// Total weight of all branches, summed without overflow.
+    pub fn total_weight(&self) -> u64 {
+        self.branches.iter().map(|&(w, _)| u64::from(w)).sum()
     }
 
     /// Whether the choice is deterministic (a single branch).
@@ -322,6 +349,19 @@ mod tests {
         assert!(w.is_write() && !r.is_write());
         assert_eq!(w.reg(), RegId(3));
         assert_eq!(r.reg(), RegId(1));
+        assert_eq!(w.write_value(), Some(&9));
+        assert_eq!(r.write_value(), None);
+    }
+
+    #[test]
+    fn raw_constructor_skips_validation_and_total_weight_is_exact() {
+        // weighted() would panic on the zero weight; weighted_raw must not —
+        // catching this malformed measure is cil-audit's job, not ours.
+        let c = Choice::weighted_raw(vec![(0u32, 'x'), (u32::MAX, 'y')]);
+        assert_eq!(c.branches().len(), 2);
+        assert_eq!(c.total_weight(), u64::from(u32::MAX));
+        let empty: Choice<char> = Choice::weighted_raw(vec![]);
+        assert_eq!(empty.total_weight(), 0);
     }
 
     #[test]

@@ -100,6 +100,41 @@ proptest! {
         let r = NReg { pref: pref.map(Val), num };
         prop_assert_eq!(NReg::unpack(r.pack()), r);
     }
+
+    #[test]
+    fn bool_packing_round_trips(b in any::<bool>()) {
+        prop_assert_eq!(bool::unpack(b.pack()), b);
+        prop_assert!(b.pack() <= 1, "bool must fit a 1-bit register");
+    }
+
+    #[test]
+    fn max_word_matches_declared_width(width in 1u32..=64) {
+        let spec = RegisterSpec::new(RegId(0), "r", Pid(0), ReaderSet::All, 0u64)
+            .with_width(width);
+        let max = spec.max_word();
+        if width == 64 {
+            prop_assert_eq!(max, u64::MAX);
+        } else {
+            prop_assert_eq!(max, (1u64 << width) - 1);
+            // The first word past the boundary no longer fits.
+            prop_assert!(max + 1 > max);
+        }
+        // Widths are monotone: a wider register admits every narrower word.
+        if width < 64 {
+            let wider = RegisterSpec::new(RegId(0), "r", Pid(0), ReaderSet::All, 0u64)
+                .with_width(width + 1);
+            prop_assert!(wider.max_word() > max);
+        }
+    }
+
+    #[test]
+    fn every_word_of_a_declared_width_round_trips_as_u64(width in 1u32..=64, raw in any::<u64>()) {
+        let spec = RegisterSpec::new(RegId(0), "r", Pid(0), ReaderSet::All, 0u64)
+            .with_width(width);
+        let word = if width == 64 { raw } else { raw & spec.max_word() };
+        prop_assert!(word <= spec.max_word());
+        prop_assert_eq!(u64::unpack(word.pack()), word);
+    }
 }
 
 proptest! {
@@ -163,6 +198,54 @@ proptest! {
         prop_assert_eq!(serial.digest(), par.digest());
         prop_assert_eq!(serial.violations(), 0);
         prop_assert!(serial.metric_sum > 0);
+    }
+}
+
+/// Satellite check: for each built-in protocol, the *entire* register
+/// domain packs within the declared `width_bits` and round-trips, including
+/// the boundary word `max_word()` itself.
+#[test]
+fn declared_widths_cover_each_protocol_register_domain() {
+    use cil_core::two::TwoProcessor;
+
+    // Fig. 1 / naive / deterministic registers: Option<Val> in 2 bits.
+    // Domain {⊥, a, b} packs to {0, 1, 2}; the boundary word 3 decodes to
+    // Some(Val(2)) and still round-trips.
+    for spec in TwoProcessor::new().registers() {
+        assert_eq!(spec.width_bits, 2);
+        let max = spec.max_word();
+        for v in [None, Some(Val::A), Some(Val::B)] {
+            let w = v.pack();
+            assert!(w <= max, "{v:?} packs to {w} > max {max}");
+            assert_eq!(Option::<Val>::unpack(w), v);
+        }
+        assert_eq!(spec.init.pack(), 0, "⊥ is the all-zeros word");
+        assert_eq!(Option::<Val>::unpack(max).pack(), max, "boundary word");
+    }
+
+    // §4 bounded three-processor registers: 75-value alphabet in 7 bits.
+    for spec in cil_core::three_bounded::ThreeBounded::new().registers() {
+        assert_eq!(spec.width_bits, 7);
+        let max = spec.max_word();
+        for v in register_alphabet() {
+            let w = v.pack();
+            assert!(w <= max, "{v:?} packs to {w} > max {max}");
+            assert_eq!(cil_core::three_bounded::BReg::unpack(w), v);
+        }
+    }
+
+    // §5 unbounded-counter registers: declared full-width (64 bits); the
+    // extreme packable NReg occupies the top of the word and round-trips.
+    for spec in cil_core::n_unbounded::NUnbounded::three().registers() {
+        assert_eq!(spec.width_bits, 64);
+        let extreme = NReg {
+            pref: Some(Val((1 << 15) - 1)),
+            num: (1 << 48) - 1,
+        };
+        let w = extreme.pack();
+        assert!(w <= spec.max_word());
+        assert_eq!(NReg::unpack(w), extreme);
+        assert_eq!(spec.init.pack() & !spec.max_word(), 0);
     }
 }
 
