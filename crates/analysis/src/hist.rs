@@ -62,6 +62,15 @@ impl Histogram {
         self.max()
     }
 
+    /// The p-quantile by counting, or `None` for an empty histogram or a
+    /// `p` outside `[0, 1]`. `p = 0.0` yields the smallest observed value.
+    pub fn try_quantile(&self, p: f64) -> Option<u64> {
+        if self.n == 0 || !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        Some(self.quantile(p))
+    }
+
     /// Renders the histogram as ASCII bars, bucketing values into at most
     /// `max_rows` equal-width buckets of width ≥ 1.
     pub fn render(&self, max_rows: usize, width: usize) -> String {
@@ -149,6 +158,18 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn quantile_of_empty_panics() {
         Histogram::new().quantile(0.5);
+    }
+
+    #[test]
+    fn try_quantile_covers_the_edges() {
+        assert_eq!(Histogram::new().try_quantile(0.5), None);
+        let h: Histogram = [3u64, 4, 9].into_iter().collect();
+        // p = 0.0 is the smallest observed value, not a panic or 0-by-default.
+        assert_eq!(h.try_quantile(0.0), Some(3));
+        assert_eq!(h.try_quantile(1.0), Some(9));
+        assert_eq!(h.try_quantile(-0.1), None);
+        assert_eq!(h.try_quantile(1.1), None);
+        assert_eq!(h.try_quantile(f64::NAN), None);
     }
 
     #[test]

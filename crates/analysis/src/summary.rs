@@ -84,6 +84,41 @@ impl OnlineStats {
         let h = 1.96 * self.sem();
         (self.mean() - h, self.mean() + h)
     }
+
+    /// Unbiased sample variance, or `None` when fewer than two
+    /// observations make it undefined.
+    pub fn try_variance(&self) -> Option<f64> {
+        (self.n >= 2).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation, or `None` for `n < 2`.
+    pub fn try_stddev(&self) -> Option<f64> {
+        self.try_variance().map(f64::sqrt)
+    }
+
+    /// Standard error of the mean, or `None` for `n < 2` (a single
+    /// observation carries no spread information, and `n = 0` none at all).
+    pub fn try_sem(&self) -> Option<f64> {
+        self.try_stddev().map(|s| s / (self.n as f64).sqrt())
+    }
+
+    /// Smallest observation, or `None` for an empty accumulator (whose
+    /// [`min`](OnlineStats::min) is the `+∞` sentinel).
+    pub fn try_min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` for an empty accumulator.
+    pub fn try_max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Normal-approximation 95% confidence interval, or `None` when
+    /// `n < 2` leaves the width undefined.
+    pub fn try_ci95(&self) -> Option<(f64, f64)> {
+        let h = 1.96 * self.try_sem()?;
+        Some((self.mean - h, self.mean + h))
+    }
 }
 
 impl Extend<f64> for OnlineStats {
@@ -145,6 +180,39 @@ mod tests {
         assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
         assert_eq!(s.min(), 2.0);
         assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn small_sample_edges_return_none() {
+        let empty = OnlineStats::new();
+        assert_eq!(empty.try_variance(), None);
+        assert_eq!(empty.try_stddev(), None);
+        assert_eq!(empty.try_sem(), None);
+        assert_eq!(empty.try_min(), None);
+        assert_eq!(empty.try_max(), None);
+        assert_eq!(empty.try_ci95(), None);
+
+        let one: OnlineStats = [7.5].into_iter().collect();
+        assert_eq!(one.try_variance(), None);
+        assert_eq!(one.try_stddev(), None);
+        assert_eq!(one.try_sem(), None);
+        assert_eq!(one.try_ci95(), None);
+        assert_eq!(one.try_min(), Some(7.5));
+        assert_eq!(one.try_max(), Some(7.5));
+    }
+
+    #[test]
+    fn try_variants_match_legacy_values_when_defined() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(s.try_variance(), Some(s.variance()));
+        assert_eq!(s.try_stddev(), Some(s.stddev()));
+        assert_eq!(s.try_sem(), Some(s.sem()));
+        assert_eq!(s.try_min(), Some(s.min()));
+        assert_eq!(s.try_max(), Some(s.max()));
+        assert_eq!(s.try_ci95(), Some(s.ci95()));
+        assert!(s.try_stddev().unwrap().is_finite());
     }
 
     #[test]

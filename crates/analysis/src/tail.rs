@@ -88,12 +88,14 @@ impl TailEstimator {
     /// Least-squares fit of `log P[X ≥ k] ≈ log c + k·log r` over the ks
     /// with at least `min_mass` empirical mass; returns the geometric decay
     /// rate `r` (e.g. ≈ 3/4 for Theorem 9). `None` if fewer than two usable
-    /// points.
+    /// points — in particular when every bucket falls below `min_mass`.
+    /// Zero-mass points are always excluded, so `min_mass = 0.0` cannot feed
+    /// `ln(0)` into the fit.
     pub fn geometric_rate(&self, min_mass: f64) -> Option<f64> {
         let pts: Vec<(f64, f64)> = (0..=self.max())
             .filter_map(|k| {
                 let s = self.survival(k);
-                (s >= min_mass).then(|| (k as f64, s.ln()))
+                (s >= min_mass && s > 0.0).then(|| (k as f64, s.ln()))
             })
             .collect();
         if pts.len() < 2 {
@@ -166,6 +168,29 @@ mod tests {
         assert_eq!(v, Some(1));
         // A generous bound is satisfied.
         assert_eq!(t.violates_bound(|_| 1.0, 1.0), None);
+    }
+
+    #[test]
+    fn fit_window_below_min_mass_yields_none() {
+        // Every survival point is ≤ 0.5; a min_mass above that leaves no
+        // usable fit window, which must be None, not a NaN slope.
+        let t: TailEstimator = [0u64, 1, 2, 3].into_iter().collect();
+        assert_eq!(t.geometric_rate(0.9), None);
+    }
+
+    #[test]
+    fn zero_min_mass_never_fits_through_ln_zero() {
+        // A point mass at 0 has survival 0 beyond k = 0. With min_mass = 0
+        // those points used to contribute ln(0) = -inf and poison the fit.
+        let mut t = TailEstimator::new();
+        for _ in 0..10 {
+            t.push(0);
+        }
+        t.push(5);
+        let rate = t.geometric_rate(0.0);
+        if let Some(r) = rate {
+            assert!(r.is_finite(), "rate {r}");
+        }
     }
 
     #[test]

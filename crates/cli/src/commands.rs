@@ -13,7 +13,10 @@ use cil_core::naive::Naive;
 use cil_core::three_bounded::ThreeBounded;
 use cil_core::two::TwoProcessor;
 use cil_mc::mdp::{MdpSolver, Objective};
-use cil_mc::{construct_infinite_schedule, Explorer, LookaheadAdversary};
+use cil_mc::{
+    construct_infinite_schedule, CompactExplorer, CompactMdp, CompactOptions, Explorer,
+    LookaheadAdversary, Symmetric,
+};
 use cil_obs::json::{self, Value};
 use cil_obs::{JsonlSink, LevelReporter, ProgressMeter, Registry};
 use cil_registers::Packable;
@@ -43,8 +46,14 @@ USAGE:
                 [--seed N] [--max-steps N] [--jobs N] [--progress]
                 [--metrics-out <file>]             parallel Monte-Carlo sweep
   cil check     --protocol <P> --inputs a,b[,..] [--depth N] [--max-configs N]
-                [--jobs N] [--stats] [--progress]
-  cil mdp       --inputs a,b [--kmax N]            exact Theorem 7 analysis
+                [--jobs N] [--stats] [--progress] [--compat-dense]
+  cil mdp       --inputs a,b [--kmax N] [--jobs N] [--metrics-out <file>]
+                [--compat-dense]                   exact Theorem 7 analysis
+  cil survival  --protocol <P> --inputs a,b[,..] [--target N] [--kmax N]
+                [--depth N] [--max-configs N] [--jobs N] [--metrics-out <file>]
+                [--compat-dense]                   exact worst-case survival
+                curve P[target undecided after k of its steps]; --depth is
+                required for the infinite-space protocols (fig2, fig3, n:<c>)
   cil theorem4  --rule <R> [--steps N]             construct the infinite schedule
   cil elect     [--n N] [--rounds N]               leader election / mutual exclusion
   cil threads   --protocol <P> --inputs ... [--seed N]   real OS threads
@@ -57,6 +66,9 @@ ADVERSARIES <A>: round-robin | random | split-keeper | laggard | leader
 RULES <R>: always-adopt | always-keep | adopt-if-greater | alternate
 JOBS: --jobs 0 (default) = all cores, 1 = serial; results are identical at
       every setting — only wall time changes.
+BACKENDS: check, mdp and survival run on a hash-consed, symmetry-reduced
+      state space by default; --compat-dense switches to the original dense
+      enumeration (same verdicts and values, more states).
 OBSERVABILITY: --progress renders a live rate/ETA (sweep) or per-level BFS
       line (check) on stderr; --metrics-out writes a canonical-JSON metrics
       snapshot; --trace-json captures a structured JSONL event stream that
@@ -598,7 +610,7 @@ pub fn sweep(args: &Args) -> Result<String, String> {
 
 fn check_one<P>(protocol: &P, args: &Args) -> Result<String, String>
 where
-    P: Protocol + Sync,
+    P: Symmetric + Sync,
     P::State: Send + Sync,
     P::Reg: Send + Sync,
 {
@@ -614,14 +626,27 @@ where
     let max_configs = args.get_u64("max-configs", 3_000_000)? as usize;
     let jobs = args.get_u64("jobs", 0)? as usize;
     let reporter = args.flag("progress").then(|| LevelReporter::new("check"));
-    let mut explorer = Explorer::new(protocol, &inputs)
-        .max_depth(depth)
-        .max_configs(max_configs)
-        .jobs(jobs);
-    if let Some(rep) = &reporter {
-        explorer = explorer.on_level(move |l| rep.level(l.depth, l.frontier, l.generated, l.fresh));
-    }
-    let report = explorer.par_run();
+    let (report, compact_stats) = if args.flag("compat-dense") {
+        let mut explorer = Explorer::new(protocol, &inputs)
+            .max_depth(depth)
+            .max_configs(max_configs)
+            .jobs(jobs);
+        if let Some(rep) = &reporter {
+            explorer =
+                explorer.on_level(move |l| rep.level(l.depth, l.frontier, l.generated, l.fresh));
+        }
+        (explorer.par_run(), None)
+    } else {
+        let mut explorer = CompactExplorer::new(protocol, &inputs)
+            .max_depth(depth)
+            .max_configs(max_configs);
+        if let Some(rep) = &reporter {
+            explorer =
+                explorer.on_level(move |l| rep.level(l.depth, l.frontier, l.generated, l.fresh));
+        }
+        let (report, stats) = explorer.run_with_stats();
+        (report, Some(stats))
+    };
     let mut s = format!(
         "exhaustive check of {} to depth {}\n{} configurations explored \
          (complete: {})\nviolations: {}\n{}\n",
@@ -636,6 +661,14 @@ where
             "VIOLATIONS FOUND — see above"
         }
     );
+    if let Some(cs) = &compact_stats {
+        let _ = writeln!(
+            s,
+            "symmetry-reduced: {} canonical classes ({} orbit hits; \
+             {} state / {} register words interned)",
+            cs.classes, cs.sym_hits, cs.interned_states, cs.interned_regs
+        );
+    }
     if args.flag("stats") {
         let _ = writeln!(s, "\nlevel  frontier  generated  fresh  dedup-hit");
         for l in &report.levels {
@@ -663,19 +696,61 @@ pub fn check(args: &Args) -> Result<String, String> {
 }
 
 /// `cil mdp` — exact Theorem 7 analysis of the two-processor protocol.
+///
+/// Runs on the hash-consed, symmetry-reduced backend by default;
+/// `--compat-dense` switches to the original dense solver (identical
+/// numbers, more enumerated states).
 pub fn mdp(args: &Args) -> Result<String, String> {
     let inputs = parse_inputs(args.get_or("inputs", "a,b"))?;
     if inputs.len() != 2 {
         return Err("--inputs: the mdp command analyses the 2-processor protocol".into());
     }
     let kmax = args.get_u64("kmax", 20)? as usize;
+    let jobs = args.get_u64("jobs", 0)? as usize;
     let p = TwoProcessor::new();
-    let solver = MdpSolver::build(&p, &inputs, 1_000_000);
-    let steps = solver.expected_steps(&p, Objective::StepsOf(0), 1e-12, 100_000);
-    let total = solver.expected_steps(&p, Objective::TotalSteps, 1e-12, 100_000);
-    let curve = solver.survival(&p, 0, kmax, 1e-13, 200_000);
+    let (header, steps, total, curve, compact) = if args.flag("compat-dense") {
+        let solver = MdpSolver::build(&p, &inputs, 1_000_000);
+        let steps = solver.expected_steps(&p, Objective::StepsOf(0), 1e-12, 100_000);
+        let total = solver.expected_steps(&p, Objective::TotalSteps, 1e-12, 100_000);
+        let curve = solver.survival(&p, 0, kmax, 1e-13, 200_000);
+        let header = format!("configuration space: {} states (dense)", solver.size());
+        (header, steps, total, curve, None)
+    } else {
+        // The per-processor objective constrains which symmetries apply, so
+        // the P0 analysis and the total-steps analysis quotient differently.
+        let p0 = CompactMdp::build(
+            &p,
+            &inputs,
+            &CompactOptions {
+                target: Some(0),
+                ..CompactOptions::default()
+            },
+        )?;
+        let any = CompactMdp::build(&p, &inputs, &CompactOptions::default())?;
+        let steps = p0.expected_steps(Objective::StepsOf(0), 1e-12, 100_000, jobs);
+        let total = any.expected_steps(Objective::TotalSteps, 1e-12, 100_000, jobs);
+        let curve = p0.survival(0, kmax, 1e-13, 200_000, jobs);
+        let header = format!(
+            "configuration space: {} canonical classes (P0 objective), \
+             {} (any-processor objective)",
+            p0.size(),
+            any.size()
+        );
+        (header, steps, total, curve, Some(p0))
+    };
+    if let Some(path) = args.get("metrics-out") {
+        let registry = Registry::new();
+        if let Some(m) = &compact {
+            m.export_metrics(&registry);
+        }
+        registry
+            .gauge("mdp.iterations")
+            .set(steps.iterations as u64);
+        std::fs::write(path, registry.snapshot().to_json())
+            .map_err(|e| format!("cannot write --metrics-out file '{path}': {e}"))?;
+    }
     let mut s = String::new();
-    let _ = writeln!(s, "configuration space: {} states", solver.size());
+    let _ = writeln!(s, "{header}");
     let _ = writeln!(
         s,
         "E[steps of P0 | optimal adaptive adversary] = {}  (paper Corollary: <= 10)",
@@ -694,6 +769,93 @@ pub fn mdp(args: &Args) -> Result<String, String> {
         let _ = writeln!(s, "  k = {k:>2}: {}", fnum(*v));
     }
     Ok(s)
+}
+
+fn survival_one<P: Symmetric>(protocol: &P, args: &Args) -> Result<String, String> {
+    let inputs = parse_inputs(args.get_or("inputs", ""))?;
+    if inputs.len() != protocol.processes() {
+        return Err(format!(
+            "--inputs: expected {} values for {}, got {}",
+            protocol.processes(),
+            protocol.name(),
+            inputs.len()
+        ));
+    }
+    let target = args.get_u64("target", 0)? as usize;
+    if target >= protocol.processes() {
+        return Err(format!(
+            "--target: processor {target} does not exist in {}",
+            protocol.name()
+        ));
+    }
+    let kmax = args.get_u64("kmax", 20)? as usize;
+    let jobs = args.get_u64("jobs", 0)? as usize;
+    let max_configs = args.get_u64("max-configs", 2_000_000)? as usize;
+    let depth = match args.get("depth") {
+        Some(_) => Some(args.get_u64("depth", 0)? as usize),
+        None => None,
+    };
+    let mut s = String::new();
+    let curve = if args.flag("compat-dense") {
+        let solver = match depth {
+            Some(d) => MdpSolver::build_bounded(protocol, &inputs, max_configs, d),
+            None => MdpSolver::build(protocol, &inputs, max_configs),
+        };
+        let _ = writeln!(
+            s,
+            "{}: {} states (dense), target P{target}",
+            protocol.name(),
+            solver.size()
+        );
+        solver.survival(protocol, target, kmax, 1e-13, 200_000)
+    } else {
+        let opts = CompactOptions {
+            max_configs,
+            max_depth: depth,
+            target: Some(target),
+            ..CompactOptions::default()
+        };
+        let mdp = CompactMdp::build(protocol, &inputs, &opts)
+            .map_err(|e| format!("{e} — unbounded protocols need --depth (see cil help)"))?;
+        let stats = *mdp.stats();
+        let _ = writeln!(
+            s,
+            "{}: {} canonical classes ({} orbit hits), target P{target}",
+            protocol.name(),
+            mdp.size(),
+            stats.sym_hits
+        );
+        if let Some(path) = args.get("metrics-out") {
+            let registry = Registry::new();
+            mdp.export_metrics(&registry);
+            std::fs::write(path, registry.snapshot().to_json())
+                .map_err(|e| format!("cannot write --metrics-out file '{path}': {e}"))?;
+        }
+        mdp.survival(target, kmax, 1e-13, 200_000, jobs)
+    };
+    if let Some(d) = depth {
+        let _ = writeln!(
+            s,
+            "(depth-bounded at {d}: survival values are lower bounds on the \
+             full space)"
+        );
+    }
+    let _ = writeln!(
+        s,
+        "\nexact worst-case survival P[P{target} undecided after k of its steps]:"
+    );
+    for (k, v) in curve.iter().enumerate() {
+        let _ = writeln!(s, "  k = {k:>2}: {}", fnum(*v));
+    }
+    Ok(s)
+}
+
+/// `cil survival` — exact worst-case survival curve for any protocol, on
+/// the compact symmetry-reduced backend (or the dense solver with
+/// `--compat-dense`). Protocols with infinite reachable spaces (`fig2`,
+/// `fig3`, `n:<count>`) need `--depth`.
+pub fn survival(args: &Args) -> Result<String, String> {
+    with_protocol!(args, survival_one)
 }
 
 /// Parses a deterministic-rule name (shared by `theorem4` and `audit`).

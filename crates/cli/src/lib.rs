@@ -11,6 +11,7 @@
 //!               [--progress] [--metrics-out m.json]
 //! cil check     --protocol fig3 --inputs a,b,a --depth 11 --jobs 4 [--stats]
 //! cil mdp       --inputs a,b [--kmax 20]
+//! cil survival  --protocol two --inputs a,b --target 0 --kmax 20
 //! cil theorem4  --rule always-adopt --steps 100000
 //! cil elect     --n 3 --rounds 10
 //! cil threads   --protocol two --inputs a,b --seed 1
@@ -74,8 +75,18 @@ impl CliFailure {
 /// [`CliFailure::Usage`] for unknown commands or malformed options;
 /// [`CliFailure::Audit`] when an audit or replay verification fails.
 pub fn dispatch_full<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, CliFailure> {
-    let args = Args::parse(tokens, &["trace", "literal", "progress", "stats", "audit"])
-        .map_err(CliFailure::Usage)?;
+    let args = Args::parse(
+        tokens,
+        &[
+            "trace",
+            "literal",
+            "progress",
+            "stats",
+            "audit",
+            "compat-dense",
+        ],
+    )
+    .map_err(CliFailure::Usage)?;
     let usage = |r: Result<String, String>| r.map_err(CliFailure::Usage);
     match args.command.as_str() {
         "run" => usage(commands::run(&args)),
@@ -84,6 +95,7 @@ pub fn dispatch_full<I: IntoIterator<Item = String>>(tokens: I) -> Result<String
         "sweep" => usage(commands::sweep(&args)),
         "check" => usage(commands::check(&args)),
         "mdp" => usage(commands::mdp(&args)),
+        "survival" => usage(commands::survival(&args)),
         "theorem4" => usage(commands::theorem4(&args)),
         "elect" => usage(commands::elect(&args)),
         "threads" => usage(commands::threads(&args)),
@@ -122,6 +134,7 @@ mod tests {
             "sweep",
             "check",
             "mdp",
+            "survival",
             "theorem4",
             "elect",
             "threads",
@@ -130,6 +143,7 @@ mod tests {
             "--metrics-out",
             "--progress",
             "--stats",
+            "--compat-dense",
         ] {
             assert!(h.contains(c), "help missing {c}");
         }
@@ -141,7 +155,7 @@ mod tests {
         assert!(e.contains("unknown command"));
         // The usage text must list every current subcommand.
         for c in [
-            "run", "replay", "sweep", "check", "mdp", "theorem4", "elect", "threads",
+            "run", "replay", "sweep", "check", "mdp", "survival", "theorem4", "elect", "threads",
         ] {
             assert!(e.contains(c), "usage missing {c}");
         }
@@ -285,6 +299,77 @@ mod tests {
         let out = dispatch(toks("mdp --inputs a,b")).unwrap();
         assert!(out.contains("10.00"), "{out}");
         assert!(out.contains("survival"), "{out}");
+    }
+
+    #[test]
+    fn mdp_compat_dense_reports_the_same_bound() {
+        let compact = dispatch(toks("mdp --inputs a,b")).unwrap();
+        let dense = dispatch(toks("mdp --inputs a,b --compat-dense")).unwrap();
+        assert!(dense.contains("10.00"), "{dense}");
+        // Everything below the state-count header is numerically identical.
+        let body = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(body(&compact), body(&dense));
+    }
+
+    #[test]
+    fn check_compat_dense_agrees_with_the_compact_default() {
+        let compact = dispatch(toks("check --protocol two --inputs a,b")).unwrap();
+        let dense = dispatch(toks("check --protocol two --inputs a,b --compat-dense")).unwrap();
+        for out in [&compact, &dense] {
+            assert!(out.contains("violations: 0"), "{out}");
+            assert!(out.contains("consistency and nontriviality hold"), "{out}");
+        }
+        assert!(compact.contains("symmetry-reduced"), "{compact}");
+    }
+
+    #[test]
+    fn survival_pins_the_corollary_curve() {
+        let out = dispatch(toks("survival --protocol two --inputs a,b --kmax 6")).unwrap();
+        // P0 cannot decide before its 4th step; from there the worst-case
+        // survival decays by 3/4 every second step (Corollary of Theorem 7).
+        assert!(out.contains("k =  0: 1"), "{out}");
+        assert!(out.contains("k =  4: 0.750"), "{out}");
+        assert!(out.contains("k =  6: 0.562"), "{out}");
+    }
+
+    #[test]
+    fn survival_matches_compat_dense_and_jobs_are_invisible() {
+        let compact = dispatch(toks(
+            "survival --protocol kvalued:4 --inputs 0,3 --kmax 6 --jobs 8",
+        ))
+        .unwrap();
+        let serial = dispatch(toks(
+            "survival --protocol kvalued:4 --inputs 0,3 --kmax 6 --jobs 1",
+        ))
+        .unwrap();
+        assert_eq!(compact, serial);
+        let dense = dispatch(toks(
+            "survival --protocol kvalued:4 --inputs 0,3 --kmax 6 --compat-dense",
+        ))
+        .unwrap();
+        let curve = |s: &str| {
+            s.lines()
+                .filter(|l| l.trim_start().starts_with("k ="))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(curve(&compact), curve(&dense));
+    }
+
+    #[test]
+    fn survival_depth_bounded_handles_unbounded_protocols() {
+        let out = dispatch(toks(
+            "survival --protocol fig2 --inputs a,b,a --target 1 --depth 6 --kmax 4",
+        ))
+        .unwrap();
+        assert!(out.contains("depth-bounded"), "{out}");
+        assert!(out.contains("k =  0: 1"), "{out}");
+        // Without --depth the build must fail cleanly, pointing at --depth.
+        let e = dispatch(toks(
+            "survival --protocol fig2 --inputs a,b,a --max-configs 20000",
+        ))
+        .unwrap_err();
+        assert!(e.contains("--depth"), "{e}");
     }
 
     #[test]

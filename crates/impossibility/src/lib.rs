@@ -38,15 +38,21 @@
 #![warn(missing_docs)]
 
 pub mod bivalence;
+pub mod compact;
 pub mod config;
 pub mod explore;
 pub mod lookahead;
 pub mod mdp;
+pub mod symmetry;
 pub mod valence;
 
 pub use bivalence::{construct_infinite_schedule, InfiniteScheduleDemo};
+pub use compact::{
+    CompactExplorer, CompactMdp, CompactOptions, CompactPolicyAdversary, CompactStats,
+};
 pub use config::{is_deterministic, successors, Config};
 pub use explore::{Explorer, LevelStats, Report, Violation};
 pub use lookahead::{min_decide_prob, LookaheadAdversary};
 pub use mdp::{MdpSolver, Objective, PolicyAdversary, Solve};
+pub use symmetry::{applicable_elems, automorphism_elems, validate_symmetries, SymElem, Symmetric};
 pub use valence::{Valence, ValenceMap};

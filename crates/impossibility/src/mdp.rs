@@ -64,29 +64,55 @@ impl<P: Protocol> MdpSolver<P> {
     /// needs the whole graph (use the Monte-Carlo harness for protocols with
     /// unbounded registers).
     pub fn build(protocol: &P, inputs: &[Val], max_configs: usize) -> Self {
+        Self::build_bounded(protocol, inputs, max_configs, usize::MAX)
+    }
+
+    /// Like [`MdpSolver::build`], but stops expanding at BFS depth
+    /// `max_depth`: configurations first reached there keep an empty move
+    /// list, so their value stays 0 under every objective. This truncation
+    /// matches the compact backend's depth-bounded mode exactly, which is
+    /// what makes the two backends cross-validatable on protocols whose
+    /// full reachable space is infinite (the paper's §5 family).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounded space still exceeds `max_configs`.
+    pub fn build_bounded(
+        protocol: &P,
+        inputs: &[Val],
+        max_configs: usize,
+        max_depth: usize,
+    ) -> Self {
         let init = Config::initial(protocol, inputs);
         let mut configs = vec![init.clone()];
+        let mut depths = vec![0usize];
         let mut index = HashMap::new();
         index.insert(init, 0usize);
         let mut moves = Vec::new();
         let mut next = 0usize;
+        // Index order is BFS (first-seen) order, so `depths[next]` is the
+        // configuration's true BFS depth.
         while next < configs.len() {
             let cfg = configs[next].clone();
+            let depth = depths[next];
             let mut cfg_moves = Vec::new();
-            for pid in cfg.eligible(protocol) {
-                let mut branches = Vec::new();
-                for (p, succ) in successors(protocol, &cfg, pid) {
-                    let idx = *index.entry(succ.clone()).or_insert_with(|| {
-                        configs.push(succ);
-                        configs.len() - 1
-                    });
-                    assert!(
-                        configs.len() <= max_configs,
-                        "configuration space exceeds {max_configs}"
-                    );
-                    branches.push((p, idx));
+            if depth < max_depth {
+                for pid in cfg.eligible(protocol) {
+                    let mut branches = Vec::new();
+                    for (p, succ) in successors(protocol, &cfg, pid) {
+                        let idx = *index.entry(succ.clone()).or_insert_with(|| {
+                            configs.push(succ);
+                            depths.push(depth + 1);
+                            configs.len() - 1
+                        });
+                        assert!(
+                            configs.len() <= max_configs,
+                            "configuration space exceeds {max_configs}"
+                        );
+                        branches.push((p, idx));
+                    }
+                    cfg_moves.push((pid, branches));
                 }
-                cfg_moves.push((pid, branches));
             }
             moves.push(cfg_moves);
             next += 1;

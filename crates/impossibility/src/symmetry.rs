@@ -1,0 +1,750 @@
+//! Protocol symmetries for state-space reduction.
+//!
+//! The paper's §4 configuration arguments are symmetric in two ways: the
+//! two-processor protocol treats the values `a`/`b` interchangeably (the
+//! decision logic only compares for equality), and it treats the two
+//! processors interchangeably (the code of `P_0` and `P_1` differs only in
+//! which register is "mine"). A configuration and its mirror image — swap
+//! the processors, swap their registers, relabel `a ↔ b` — therefore have
+//! identical worst-case behaviour under the adaptive adversary, and the
+//! exact analysis of [`crate::compact`] needs to enumerate only one
+//! representative per orbit.
+//!
+//! A [`SymElem`] is one such mirror: a processor permutation, a register
+//! permutation, and value-relabeling maps for states and register contents.
+//! [`Symmetric::symmetries`] lists a protocol's elements for a given input
+//! vector; [`applicable_elems`] filters them down to the ones usable for a
+//! reachability-sensitive analysis (they must fix the initial
+//! configuration, and a per-processor objective additionally requires the
+//! target processor to be a fixed point), while [`automorphism_elems`]
+//! keeps every dynamics automorphism for value iteration, where only a
+//! configuration's future matters. Because hand-written symmetries are easy to get subtly
+//! wrong, [`validate_symmetries`] checks the commuting-square property
+//! `σ(successors(c, p)) = successors(σ(c), σ(p))` dynamically over a
+//! sampled prefix of the reachable space.
+
+use crate::config::{successors, Config};
+use cil_sim::{Protocol, Val};
+use std::collections::HashSet;
+
+/// One symmetry element: a configuration automorphism given by a processor
+/// permutation, a register permutation, and per-slot relabeling maps.
+///
+/// Applying the element to a configuration `c` produces `c'` with
+/// `c'.states[proc_perm[i]] = map_state(i, c.states[i])`,
+/// `c'.regs[reg_perm[j]] = map_reg(j, c.regs[j])`, and the `active` bits
+/// permuted along `proc_perm`.
+///
+/// The element set returned by [`Symmetric::symmetries`], together with the
+/// identity, must form a **group** (in particular each element's inverse
+/// must be in the set — involutions qualify on their own): canonicalization
+/// in `compact` takes the minimum over `{id} ∪ elems`, which is only a
+/// well-defined orbit representative under that closure.
+pub struct SymElem<P: Protocol> {
+    /// Human-readable name for diagnostics.
+    pub name: String,
+    /// `proc_perm[i]` is the processor slot `i` maps to.
+    pub proc_perm: Vec<usize>,
+    /// `reg_perm[j]` is the register slot `j` maps to.
+    pub reg_perm: Vec<usize>,
+    #[allow(clippy::type_complexity)]
+    map_state: Box<dyn Fn(usize, &P::State) -> P::State + Send + Sync>,
+    #[allow(clippy::type_complexity)]
+    map_reg: Box<dyn Fn(usize, &P::Reg) -> P::Reg + Send + Sync>,
+}
+
+impl<P: Protocol> SymElem<P> {
+    /// Builds an element from its permutations and relabeling maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either permutation is not a bijection on its index range.
+    pub fn new(
+        name: impl Into<String>,
+        proc_perm: Vec<usize>,
+        reg_perm: Vec<usize>,
+        map_state: impl Fn(usize, &P::State) -> P::State + Send + Sync + 'static,
+        map_reg: impl Fn(usize, &P::Reg) -> P::Reg + Send + Sync + 'static,
+    ) -> Self {
+        assert!(is_permutation(&proc_perm), "proc_perm is not a permutation");
+        assert!(is_permutation(&reg_perm), "reg_perm is not a permutation");
+        SymElem {
+            name: name.into(),
+            proc_perm,
+            reg_perm,
+            map_state: Box::new(map_state),
+            map_reg: Box::new(map_reg),
+        }
+    }
+
+    /// The relabeled state of processor `pid` (before slot permutation).
+    pub fn map_state(&self, pid: usize, s: &P::State) -> P::State {
+        (self.map_state)(pid, s)
+    }
+
+    /// The relabeled contents of register `reg` (before slot permutation).
+    pub fn map_reg(&self, reg: usize, r: &P::Reg) -> P::Reg {
+        (self.map_reg)(reg, r)
+    }
+
+    /// Applies the element to a configuration.
+    pub fn apply(&self, cfg: &Config<P>) -> Config<P> {
+        let mut states: Vec<Option<P::State>> = vec![None; cfg.states.len()];
+        for (i, s) in cfg.states.iter().enumerate() {
+            states[self.proc_perm[i]] = Some((self.map_state)(i, s));
+        }
+        let mut regs: Vec<Option<P::Reg>> = vec![None; cfg.regs.len()];
+        for (j, r) in cfg.regs.iter().enumerate() {
+            regs[self.reg_perm[j]] = Some((self.map_reg)(j, r));
+        }
+        let mut active = 0u64;
+        for (i, &to) in self.proc_perm.iter().enumerate() {
+            if cfg.active & (1 << i) != 0 {
+                active |= 1 << to;
+            }
+        }
+        Config {
+            states: states.into_iter().map(|s| s.expect("bijection")).collect(),
+            regs: regs.into_iter().map(|r| r.expect("bijection")).collect(),
+            active,
+        }
+    }
+
+    /// The processor slot that maps **to** `pid` — the inverse permutation.
+    pub fn preimage_pid(&self, pid: usize) -> usize {
+        self.proc_perm
+            .iter()
+            .position(|&q| q == pid)
+            .expect("bijection")
+    }
+
+    /// Whether the element fixes the initial configuration of `inputs` —
+    /// the precondition for quotienting reachable-space analyses by it.
+    pub fn fixes_initial(&self, protocol: &P, inputs: &[Val]) -> bool {
+        let init = Config::initial(protocol, inputs);
+        self.apply(&init) == init
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for SymElem<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymElem")
+            .field("name", &self.name)
+            .field("proc_perm", &self.proc_perm)
+            .field("reg_perm", &self.reg_perm)
+            .finish()
+    }
+}
+
+fn is_permutation(perm: &[usize]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+/// A protocol that knows its own symmetries.
+///
+/// The default implementation reports none, which is always sound: the
+/// compact backend then canonicalizes with the identity alone. Protocols
+/// with genuine symmetries override [`Symmetric::symmetries`].
+pub trait Symmetric: Protocol + Sized {
+    /// Candidate symmetry elements for executions starting from `inputs`.
+    ///
+    /// Elements need not fix the initial configuration of `inputs` — that
+    /// filtering is [`applicable_elems`]'s job — but `{id} ∪ elems` must be
+    /// closed under composition and inverse on the reachable space.
+    fn symmetries(&self, inputs: &[Val]) -> Vec<SymElem<Self>> {
+        let _ = inputs;
+        Vec::new()
+    }
+
+    /// Whether register `reg` can never be read again from `cfg`, along any
+    /// schedule and any coin outcomes. A protocol overriding this lets the
+    /// compact backend collapse the register's contents to a single token.
+    ///
+    /// The claim must be **sound** (no future step of any processor reads
+    /// the register) and **future-stable** (it keeps holding in every
+    /// successor configuration) — both are checkable dynamically with
+    /// [`validate_dead_hints`]. The default makes no claim; the compact
+    /// backend independently retires registers whose every allowed reader
+    /// has decided.
+    fn register_dead(&self, reg: usize, cfg: &Config<Self>) -> bool {
+        let _ = (reg, cfg);
+        false
+    }
+}
+
+/// Dynamically checks [`Symmetric::register_dead`] over a BFS prefix of
+/// the reachable space: wherever a register is claimed dead, no eligible
+/// processor's next operation may read it, and the claim must persist in
+/// every successor. By induction the two together imply the register is
+/// never read again.
+///
+/// # Errors
+///
+/// Returns a description of the first violated claim.
+pub fn validate_dead_hints<P: Symmetric>(
+    protocol: &P,
+    inputs: &[Val],
+    max_configs: usize,
+) -> Result<(), String> {
+    use cil_sim::Op;
+    let m = protocol.registers().len();
+    let init = Config::initial(protocol, inputs);
+    let mut seen: HashSet<Config<P>> = HashSet::new();
+    let mut queue = vec![init];
+    while let Some(cfg) = queue.pop() {
+        if seen.len() >= max_configs {
+            break;
+        }
+        if !seen.insert(cfg.clone()) {
+            continue;
+        }
+        let dead: Vec<usize> = (0..m)
+            .filter(|&j| protocol.register_dead(j, &cfg))
+            .collect();
+        for pid in cfg.eligible(protocol) {
+            for (_, op) in protocol.choose(pid, &cfg.states[pid]).branches() {
+                if let Op::Read(r) = op {
+                    if dead.contains(&r.0) {
+                        return Err(format!("P{pid} reads register {} claimed dead", r.0));
+                    }
+                }
+            }
+            for (_, succ) in successors(protocol, &cfg, pid) {
+                for &j in &dead {
+                    if !protocol.register_dead(j, &succ) {
+                        return Err(format!(
+                            "dead claim on register {j} is not future-stable under a step \
+                             of P{pid}"
+                        ));
+                    }
+                }
+                if !seen.contains(&succ) {
+                    queue.push(succ);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The elements of `protocol` usable for a **reachability-sensitive**
+/// analysis from `inputs` (depth-exact exploration, nontriviality): those
+/// fixing the initial configuration and, when the analysis singles out a
+/// `target` processor (per-processor step counts, survival curves), those
+/// fixing the target's slot. Fixing the initial configuration guarantees
+/// orbit members share their BFS depth and their correspondence to inputs.
+pub fn applicable_elems<P: Symmetric>(
+    protocol: &P,
+    inputs: &[Val],
+    target: Option<usize>,
+) -> Vec<SymElem<P>> {
+    protocol
+        .symmetries(inputs)
+        .into_iter()
+        .filter(|e| target.is_none_or(|t| e.proc_perm[t] == t))
+        .filter(|e| e.fixes_initial(protocol, inputs))
+        .collect()
+}
+
+/// The elements of `protocol` usable for **value iteration** from `inputs`.
+///
+/// The MDP value of a configuration — worst-case expected cost-to-go,
+/// survival probability — depends only on its future dynamics, never on how
+/// it was reached, so a dynamics automorphism need *not* fix the initial
+/// configuration to identify equal-value configurations: `V(σ(c)) = V(c)`
+/// holds for every element. Only an objective that singles out a `target`
+/// processor constrains the set (the cost labeling `pid == target` must be
+/// preserved, so the target's slot must be a fixed point). This is the
+/// filter the compact MDP backend uses for full (depth-unbounded) builds,
+/// and it is what makes the quotient strictly coarser than the
+/// [`applicable_elems`] one — e.g. the k-valued protocol's candidate
+/// relabelings all qualify here while only the input mask fixes the split
+/// initial configuration.
+pub fn automorphism_elems<P: Symmetric>(
+    protocol: &P,
+    inputs: &[Val],
+    target: Option<usize>,
+) -> Vec<SymElem<P>> {
+    protocol
+        .symmetries(inputs)
+        .into_iter()
+        .filter(|e| target.is_none_or(|t| e.proc_perm[t] == t))
+        .collect()
+}
+
+/// Dynamically checks the commuting-square property of every element over
+/// a BFS prefix of the reachable space: for each visited configuration `c`
+/// and eligible processor `p`,
+/// `σ(successors(c, p)) == successors(σ(c), proc_perm[p])` as probability
+/// multisets, `σ(σ(c)) == c` (involution / inverse closure on the sampled
+/// orbit), and decisions commute with the relabeling.
+///
+/// # Errors
+///
+/// Returns a description of the first violated square.
+pub fn validate_symmetries<P: Symmetric>(
+    protocol: &P,
+    inputs: &[Val],
+    max_configs: usize,
+) -> Result<(), String> {
+    let elems = protocol.symmetries(inputs);
+    if elems.is_empty() {
+        return Ok(());
+    }
+    let init = Config::initial(protocol, inputs);
+    let mut seen: HashSet<Config<P>> = HashSet::new();
+    let mut queue = vec![init];
+    while let Some(cfg) = queue.pop() {
+        if seen.len() >= max_configs {
+            break;
+        }
+        if !seen.insert(cfg.clone()) {
+            continue;
+        }
+        for e in &elems {
+            let mapped = e.apply(&cfg);
+            if e.apply(&mapped) != cfg {
+                return Err(format!("element '{}' is not an involution", e.name));
+            }
+            for pid in 0..cfg.states.len() {
+                let decided = protocol.decision(&cfg.states[pid]).is_some();
+                let mapped_decided = protocol
+                    .decision(&mapped.states[e.proc_perm[pid]])
+                    .is_some();
+                if decided != mapped_decided {
+                    return Err(format!(
+                        "element '{}' does not preserve decidedness of P{pid}",
+                        e.name
+                    ));
+                }
+                if decided {
+                    continue;
+                }
+                let lhs: Vec<(f64, Config<P>)> = successors(protocol, &cfg, pid)
+                    .into_iter()
+                    .map(|(p, c)| (p, e.apply(&c)))
+                    .collect();
+                let mut rhs = successors(protocol, &mapped, e.proc_perm[pid]);
+                if lhs.len() != rhs.len() {
+                    return Err(format!(
+                        "element '{}': successor counts differ for P{pid}",
+                        e.name
+                    ));
+                }
+                for (p, c) in &lhs {
+                    let pos = rhs
+                        .iter()
+                        .position(|(q, d)| (p - q).abs() < 1e-12 && c == d)
+                        .ok_or_else(|| {
+                            format!(
+                                "element '{}': square does not commute for P{pid} \
+                                 (a mapped successor has no counterpart)",
+                                e.name
+                            )
+                        })?;
+                    rhs.swap_remove(pos);
+                }
+            }
+        }
+        for pid in cfg.eligible(protocol) {
+            for (_, succ) in successors(protocol, &cfg, pid) {
+                if !seen.contains(&succ) {
+                    queue.push(succ);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Implementations for the built-in protocols.
+// ---------------------------------------------------------------------------
+
+use cil_core::deterministic::DetTwo;
+use cil_core::kvalued::{KPhase, KReg, KState, KValued};
+use cil_core::n_unbounded::NUnbounded;
+use cil_core::n_unbounded_1w1r::NUnbounded1W1R;
+use cil_core::naive::Naive;
+use cil_core::three_bounded::ThreeBounded;
+use cil_core::two::{TwoProcessor, TwoState};
+
+impl Symmetric for TwoProcessor {
+    /// The full automorphism group of the Fig. 1 dynamics over the two
+    /// input values: relabel `x ↔ y` (the protocol compares values only
+    /// for equality), swap the processors together with `r0 ↔ r1` (the
+    /// code is processor-symmetric), or both — a Klein four-group.
+    ///
+    /// Only the combined swap fixes the split initial configuration, so
+    /// reachability-sensitive analyses filter down to it; value iteration
+    /// quotients by all three.
+    fn symmetries(&self, inputs: &[Val]) -> Vec<SymElem<Self>> {
+        let (x, y) = (inputs[0], inputs[1]);
+        let swap = move |v: Val| {
+            if v == x {
+                y
+            } else if v == y {
+                x
+            } else {
+                v
+            }
+        };
+        let relabel = move |s: &TwoState| match s {
+            TwoState::Start { input } => TwoState::Start {
+                input: swap(*input),
+            },
+            TwoState::AboutToRead { mine } => TwoState::AboutToRead { mine: swap(*mine) },
+            TwoState::AboutToWrite { mine, seen } => TwoState::AboutToWrite {
+                mine: swap(*mine),
+                seen: swap(*seen),
+            },
+            TwoState::Decided { value } => TwoState::Decided {
+                value: swap(*value),
+            },
+        };
+        let mut elems = vec![SymElem::new(
+            "swap-pids",
+            vec![1, 0],
+            vec![1, 0],
+            |_pid, s: &TwoState| s.clone(),
+            |_reg, r: &Option<Val>| *r,
+        )];
+        if x != y {
+            elems.push(SymElem::new(
+                "swap-values",
+                vec![0, 1],
+                vec![0, 1],
+                move |_pid, s: &TwoState| relabel(s),
+                move |_reg, r: &Option<Val>| r.map(swap),
+            ));
+            elems.push(SymElem::new(
+                "swap-pids-and-values",
+                vec![1, 0],
+                vec![1, 0],
+                move |_pid, s: &TwoState| relabel(s),
+                move |_reg, r: &Option<Val>| r.map(swap),
+            ));
+        }
+        elems
+    }
+}
+
+impl Symmetric for KValued<TwoProcessor> {
+    /// The automorphism group of the Theorem 5 construction over Fig. 1:
+    /// XOR-relabel every candidate by a mask `f` (`c ↦ c ^ f`), optionally
+    /// composed with the processor swap (which also swaps, per round, the
+    /// two inner registers and the two candidate registers). Under the mask
+    /// the inner binary instance of round `r` sees its bit values flipped
+    /// exactly when bit `r` of `f` is set, and the decided `prefix` is
+    /// flipped on the bits decided so far — during a `Scan` the current
+    /// round's bit has already been decided, so one more bit is masked in
+    /// than in the other phases.
+    ///
+    /// The protocol's decision logic only compares candidate prefixes for
+    /// equality and agrees bit by bit, so *every* mask commutes with the
+    /// dynamics, not just the input relabeling `u ⊕ v` — but only the
+    /// composite `(u ⊕ v, swap)` fixes the initial configuration, so
+    /// reachability-sensitive analyses filter down to that one mirror while
+    /// value iteration quotients by the whole group of `2^{rounds+1}`
+    /// elements. Past `rounds = 4` the full flip group is large relative to
+    /// its payoff, so the implementation falls back to the Klein four-group
+    /// generated by the pid swap and the input mask.
+    fn symmetries(&self, inputs: &[Val]) -> Vec<SymElem<Self>> {
+        if inputs.len() != 2 {
+            return Vec::new();
+        }
+        let rounds = self.rounds() as usize;
+        // TwoProcessor has two inner registers per round, then one
+        // candidate register per processor.
+        let inner_regs = 2usize;
+        let make = move |flip: u64, swap: bool| -> SymElem<Self> {
+            let proc_perm = if swap { vec![1, 0] } else { vec![0, 1] };
+            let m = rounds * inner_regs + 2;
+            let reg_perm: Vec<usize> = if swap {
+                let mut perm = Vec::with_capacity(m);
+                for r in 0..rounds {
+                    perm.push(r * inner_regs + 1);
+                    perm.push(r * inner_regs);
+                }
+                perm.push(rounds * inner_regs + 1);
+                perm.push(rounds * inner_regs);
+                perm
+            } else {
+                (0..m).collect()
+            };
+            let flip_bit = move |round: u32| (flip >> round) & 1;
+            let flip_val = move |round: u32, w: Val| Val(w.0 ^ flip_bit(round));
+            let masked = move |bits: u32| {
+                if bits >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                }
+            };
+            let name = if swap {
+                format!("flip-{flip:#x}-swap-pids")
+            } else {
+                format!("flip-{flip:#x}")
+            };
+            SymElem::new(
+                name,
+                proc_perm,
+                reg_perm,
+                move |_pid, s: &KState<TwoState>| {
+                    let decided_bits = match s.phase {
+                        KPhase::Scan { .. } => s.round + 1,
+                        _ => s.round,
+                    };
+                    let phase = match &s.phase {
+                        KPhase::PublishInit => KPhase::PublishInit,
+                        KPhase::Republish => KPhase::Republish,
+                        KPhase::Scan { next } => KPhase::Scan { next: *next },
+                        KPhase::Done(w) => KPhase::Done(Val(w.0 ^ flip)),
+                        KPhase::Inner(ts) => KPhase::Inner(match ts {
+                            TwoState::Start { input } => TwoState::Start {
+                                input: flip_val(s.round, *input),
+                            },
+                            TwoState::AboutToRead { mine } => TwoState::AboutToRead {
+                                mine: flip_val(s.round, *mine),
+                            },
+                            TwoState::AboutToWrite { mine, seen } => TwoState::AboutToWrite {
+                                mine: flip_val(s.round, *mine),
+                                seen: flip_val(s.round, *seen),
+                            },
+                            TwoState::Decided { value } => TwoState::Decided {
+                                value: flip_val(s.round, *value),
+                            },
+                        }),
+                    };
+                    KState {
+                        cand: s.cand ^ flip,
+                        round: s.round,
+                        prefix: s.prefix ^ (flip & masked(decided_bits)),
+                        phase,
+                    }
+                },
+                move |reg, r: &KReg<Option<Val>>| {
+                    if reg < rounds * inner_regs {
+                        let round = (reg / inner_regs) as u32;
+                        match r {
+                            KReg::Inner(w) => KReg::Inner(w.map(|x| flip_val(round, x))),
+                            KReg::Cand(_) => unreachable!("inner slot holds a candidate"),
+                        }
+                    } else {
+                        match r {
+                            KReg::Cand(c) => KReg::Cand(c.map(|x| x ^ flip)),
+                            KReg::Inner(_) => unreachable!("candidate slot holds an inner value"),
+                        }
+                    }
+                },
+            )
+        };
+        let mut elems = Vec::new();
+        if rounds <= 4 {
+            for f in 0..1u64 << rounds {
+                for swap in [false, true] {
+                    if f == 0 && !swap {
+                        continue;
+                    }
+                    elems.push(make(f, swap));
+                }
+            }
+        } else {
+            let f = inputs[0].0 ^ inputs[1].0;
+            elems.push(make(0, true));
+            if f != 0 {
+                elems.push(make(f, false));
+                elems.push(make(f, true));
+            }
+        }
+        elems
+    }
+
+    /// The inner binary instance of round `r` is only ever read by a
+    /// processor whose `Inner` phase is at round `r` — and rounds are
+    /// monotone. A processor at round `r` in the `Scan` phase has already
+    /// received that instance's decision and moves to round `r + 1` on
+    /// adoption, so once every processor is past round `r` (or scanning at
+    /// it, or decided), the instance's registers are dead. Candidate
+    /// registers stay live while any peer might still scan.
+    fn register_dead(&self, reg: usize, cfg: &Config<Self>) -> bool {
+        let inner_regs = 2usize;
+        if reg >= self.rounds() as usize * inner_regs {
+            return false;
+        }
+        let round = (reg / inner_regs) as u32;
+        cfg.states.iter().all(|s| {
+            s.round > round || (s.round == round && matches!(s.phase, KPhase::Scan { .. }))
+        })
+    }
+}
+
+/// No usable symmetry: the deterministic rules are order-sensitive
+/// (`AdoptIfGreater` compares values), so value relabeling does not commute.
+impl Symmetric for DetTwo {}
+
+/// No symmetry elements declared: the §5 protocol's `num` counter races are
+/// not value-symmetric in any way this module models.
+impl Symmetric for NUnbounded {}
+
+/// No symmetry elements declared (see [`NUnbounded`]).
+impl Symmetric for NUnbounded1W1R {}
+
+/// No symmetry elements declared: the §6 bounded protocol's handshake bits
+/// break the naive processor rotation.
+impl Symmetric for ThreeBounded {}
+
+/// No symmetry elements declared: the naive protocol is already tiny.
+impl Symmetric for Naive {}
+
+/// No symmetry elements declared for the k-valued composite over the §5
+/// inner protocol (its inner instance declares none either).
+impl Symmetric for KValued<NUnbounded> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_processor_mirror_fixes_init_and_commutes() {
+        let p = TwoProcessor::new();
+        for inputs in [[Val::A, Val::B], [Val::A, Val::A], [Val(3), Val(7)]] {
+            let elems = applicable_elems(&p, &inputs, None);
+            assert_eq!(elems.len(), 1, "inputs {inputs:?}");
+            validate_symmetries(&p, &inputs, 50_000).unwrap();
+        }
+    }
+
+    #[test]
+    fn target_fixing_filters_the_processor_swap() {
+        let p = TwoProcessor::new();
+        let elems = applicable_elems(&p, &[Val::A, Val::B], Some(0));
+        assert!(elems.is_empty(), "the pid swap moves the target");
+    }
+
+    #[test]
+    fn kvalued_mirror_commutes_over_the_reachable_space() {
+        for k in [2u64, 4] {
+            let p = KValued::new(TwoProcessor::new(), k);
+            let inputs = [Val(0), Val(k - 1)];
+            let elems = applicable_elems(&p, &inputs, None);
+            assert_eq!(elems.len(), 1, "k = {k}");
+            validate_symmetries(&p, &inputs, 30_000).unwrap();
+        }
+    }
+
+    #[test]
+    fn kvalued_equal_inputs_reduce_to_the_pure_pid_swap() {
+        let p = KValued::new(TwoProcessor::new(), 4);
+        let inputs = [Val(2), Val(2)];
+        assert_eq!(applicable_elems(&p, &inputs, None).len(), 1);
+        validate_symmetries(&p, &inputs, 30_000).unwrap();
+    }
+
+    #[test]
+    fn kvalued_dead_register_hints_are_sound() {
+        for k in [2u64, 4] {
+            let p = KValued::new(TwoProcessor::new(), k);
+            validate_dead_hints(&p, &[Val(0), Val(k - 1)], 100_000).unwrap();
+            validate_dead_hints(&p, &[Val(1), Val(1)], 100_000).unwrap();
+        }
+    }
+
+    #[test]
+    fn a_bogus_dead_hint_is_caught() {
+        /// Claims every register dead from the start — the validator must
+        /// reject it on the first read.
+        #[derive(Debug, Clone)]
+        struct EagerDead(TwoProcessor);
+        impl cil_sim::Protocol for EagerDead {
+            type State = TwoState;
+            type Reg = Option<Val>;
+            fn processes(&self) -> usize {
+                self.0.processes()
+            }
+            fn registers(&self) -> Vec<cil_registers::RegisterSpec<Option<Val>>> {
+                self.0.registers()
+            }
+            fn init(&self, pid: usize, input: Val) -> TwoState {
+                self.0.init(pid, input)
+            }
+            fn choose(
+                &self,
+                pid: usize,
+                s: &TwoState,
+            ) -> cil_sim::Choice<cil_sim::Op<Option<Val>>> {
+                self.0.choose(pid, s)
+            }
+            fn transit(
+                &self,
+                pid: usize,
+                s: &TwoState,
+                op: &cil_sim::Op<Option<Val>>,
+                read: Option<&Option<Val>>,
+            ) -> cil_sim::Choice<TwoState> {
+                self.0.transit(pid, s, op, read)
+            }
+            fn decision(&self, s: &TwoState) -> Option<Val> {
+                self.0.decision(s)
+            }
+        }
+        impl Symmetric for EagerDead {
+            fn register_dead(&self, _reg: usize, _cfg: &Config<Self>) -> bool {
+                true
+            }
+        }
+        let p = EagerDead(TwoProcessor::new());
+        assert!(validate_dead_hints(&p, &[Val::A, Val::B], 100_000).is_err());
+    }
+
+    #[test]
+    fn empty_impls_stay_empty() {
+        assert!(NUnbounded::three()
+            .symmetries(&[Val::A, Val::B, Val::A])
+            .is_empty());
+        assert!(ThreeBounded::new()
+            .symmetries(&[Val::A, Val::B, Val::A])
+            .is_empty());
+        assert!(Naive::new(3)
+            .symmetries(&[Val::A, Val::B, Val::A])
+            .is_empty());
+    }
+
+    #[test]
+    fn apply_permutes_states_registers_and_activity() {
+        let p = TwoProcessor::new();
+        let inputs = [Val::A, Val::B];
+        let elems = applicable_elems(&p, &inputs, None);
+        let init = Config::initial(&p, &inputs);
+        let stepped = successors(&p, &init, 0).pop().unwrap().1;
+        let mirrored = elems[0].apply(&stepped);
+        // P0 wrote a into r0; the mirror is P1 having written b into r1.
+        assert_eq!(mirrored.active, 0b10);
+        assert_eq!(mirrored.regs[1], Some(Val::B));
+        assert_eq!(mirrored.regs[0], None);
+        // Round trip: the element is an involution.
+        assert_eq!(elems[0].apply(&mirrored), stepped);
+        assert_eq!(elems[0].preimage_pid(1), 0);
+    }
+
+    #[test]
+    fn bad_permutation_is_rejected() {
+        let r = std::panic::catch_unwind(|| {
+            SymElem::<TwoProcessor>::new(
+                "broken",
+                vec![0, 0],
+                vec![0, 1],
+                |_, s| s.clone(),
+                |_, r| *r,
+            )
+        });
+        assert!(r.is_err());
+    }
+}

@@ -329,9 +329,14 @@ impl SweepStats {
                 TrialOutcome::Inconsistent => 2,
                 TrialOutcome::Trivial => 3,
             });
+            // A presence tag byte keeps `None` distinguishable from every
+            // `Some` schedule — the previous `u64::MAX` length sentinel
+            // collided with a legitimate first word of `u64::MAX` (e.g. a
+            // pid of `usize::MAX` in a corrupted capture).
             match &f.schedule {
-                None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
+                None => out.push(0),
                 Some(s) => {
+                    out.push(1);
                     out.extend_from_slice(&(s.len() as u64).to_le_bytes());
                     for &pid in s {
                         out.extend_from_slice(&(pid as u64).to_le_bytes());
@@ -667,6 +672,37 @@ mod tests {
         let observed = base.clone().jobs(4).run_observed(Some(&observer), toy);
         assert_eq!(plain, observed);
         assert_eq!(plain.digest(), observed.digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_missing_schedule_from_sentinel_value() {
+        // Regression: `None` used to be encoded as a bare `u64::MAX` word,
+        // indistinguishable from a captured schedule whose first encoded
+        // word is `u64::MAX` (a pid of `usize::MAX`). The presence tag byte
+        // keeps the encoding injective.
+        let stats_with = |schedule: Option<Vec<usize>>| {
+            let mut s = SweepStats::new(8);
+            s.absorb(
+                0,
+                TrialResult {
+                    metric: 1,
+                    outcome: TrialOutcome::Inconsistent,
+                    flagged: false,
+                    schedule,
+                },
+            );
+            s
+        };
+        let none = stats_with(None);
+        let sentinel = stats_with(Some(vec![usize::MAX]));
+        assert_ne!(none.digest(), sentinel.digest());
+        // And the `Some(u64::MAX)`-shaped first word itself cannot alias the
+        // missing-schedule encoding: the tag byte differs before any length
+        // or pid bytes are compared.
+        let none_tail = &none.digest()[none.digest().len() - 1..];
+        assert_eq!(none_tail, [0]);
+        let empty = stats_with(Some(Vec::new()));
+        assert_ne!(none.digest(), empty.digest());
     }
 
     #[test]
