@@ -341,7 +341,8 @@ impl TraceAuditor {
                 }
                 RunEvent::SpanBegin { .. }
                 | RunEvent::SpanEnd { .. }
-                | RunEvent::CoinFlip { .. } => {}
+                | RunEvent::CoinFlip { .. }
+                | RunEvent::Grant { .. } => {}
             }
         }
 

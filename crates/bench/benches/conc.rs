@@ -1,0 +1,195 @@
+//! Benches and CI smoke checks for the controlled native backend.
+//!
+//! Hand-written harness (not `criterion_group!`): the first thing every
+//! invocation does — including `cargo bench -p cil-bench --bench conc --
+//! --test`, the CI smoke mode — is run the seeded detection experiment
+//! (PCT must find the planted interleaving mutant within a bounded budget,
+//! the uniform random walk must find it far less often, and the failing
+//! schedule must delta-debug down to the 12-step solo sprint) and write the
+//! counts to `BENCH_conc.json` at the repository root. Timed loops only
+//! run without `--test`.
+
+use cil_conc::{
+    classify, ddmin_schedule, rerun_trial_with_codec, stress, ControlledRun, Pct, RacyTwo,
+    RandomWalk, ReplaySchedule, StrategySpec, StressConfig,
+};
+use cil_core::two::TwoProcessor;
+use cil_obs::json::ObjWriter;
+use cil_sim::{run_on_threads, PackCodec, TrialOutcome, Val};
+use criterion::{black_box, Criterion};
+
+/// Counts from the seeded detection experiment.
+struct Smoke {
+    trials: u64,
+    budget: u64,
+    pct_violations: u64,
+    random_violations: u64,
+    original_schedule_len: usize,
+    shrunk_schedule_len: usize,
+    native_mean_steps: f64,
+}
+
+/// The fixed experiment behind the report: mutant detection, shrinking,
+/// and a clean two-processor batch for the throughput row.
+fn check_detection() -> Smoke {
+    let mutant = RacyTwo::default();
+    let inputs = [Val::A, Val::B];
+    let cfg = StressConfig {
+        trials: 64,
+        root_seed: 1,
+        budget: 64,
+        jobs: 0,
+        strategy: StrategySpec::Pct { depth: 1 },
+        max_failure_samples: 5,
+    };
+    let pct = stress(&mutant, &inputs, &cfg, None);
+    assert!(
+        pct.violations() >= 16,
+        "PCT found only {}/64 violations of the planted mutant",
+        pct.violations()
+    );
+    let rnd = stress(
+        &mutant,
+        &inputs,
+        &StressConfig {
+            strategy: StrategySpec::Random,
+            ..cfg.clone()
+        },
+        None,
+    );
+    assert!(
+        rnd.violations() * 8 <= pct.violations(),
+        "detection contrast collapsed: random {} vs pct {}",
+        rnd.violations(),
+        pct.violations()
+    );
+
+    // Shrink the first failing schedule to its 1-minimal core.
+    let first = pct.failures.first().expect("PCT finds the mutant");
+    let (seed, outcome) = rerun_trial_with_codec(&mutant, &inputs, &PackCodec, &cfg, first.trial);
+    let still_fails = |candidate: &[usize]| {
+        let out = ControlledRun::new(&mutant, &inputs)
+            .seed(seed)
+            .budget(cfg.budget)
+            .run(Box::new(ReplaySchedule::best_effort(candidate.to_vec())));
+        classify(&out).outcome == TrialOutcome::Inconsistent
+    };
+    let minimal = ddmin_schedule(&outcome.schedule, still_fails);
+    assert_eq!(
+        minimal,
+        vec![1usize; 12],
+        "expected the 12-step solo sprint"
+    );
+
+    // A clean controlled batch of Fig. 1 for the mean-steps row.
+    let two = stress(
+        &TwoProcessor::new(),
+        &inputs,
+        &StressConfig {
+            trials: 128,
+            root_seed: 7,
+            budget: 512,
+            jobs: 0,
+            strategy: StrategySpec::Random,
+            max_failure_samples: 5,
+        },
+        None,
+    );
+    assert_eq!(two.violations(), 0);
+    assert_eq!(two.decided, 128);
+
+    Smoke {
+        trials: cfg.trials,
+        budget: cfg.budget,
+        pct_violations: pct.violations(),
+        random_violations: rnd.violations(),
+        original_schedule_len: outcome.schedule.len(),
+        shrunk_schedule_len: minimal.len(),
+        native_mean_steps: two.mean().expect("decided trials exist"),
+    }
+}
+
+/// Serializes the experiment counts to `BENCH_conc.json` at the repo root.
+fn write_report(s: &Smoke) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_conc.json");
+    let report = ObjWriter::new()
+        .str("bench", "conc")
+        .str("mutant", "racy-two(rounds=6)")
+        .num("trials", s.trials)
+        .num("budget", s.budget)
+        .num("pct_violations", s.pct_violations)
+        .num("random_violations", s.random_violations)
+        .num("original_schedule_len", s.original_schedule_len as u64)
+        .num("shrunk_schedule_len", s.shrunk_schedule_len as u64)
+        .raw(
+            "two_proc_mean_steps",
+            &format!("{:.4}", s.native_mean_steps),
+        )
+        .finish();
+    std::fs::write(path, format!("{report}\n")).expect("write BENCH_conc.json");
+    println!("wrote {path}");
+}
+
+fn bench_conc(c: &mut Criterion) {
+    let p = TwoProcessor::new();
+    let inputs = [Val::A, Val::B];
+    c.bench_function("conc/controlled_run_random_walk", |b| {
+        b.iter(|| {
+            let out = ControlledRun::new(&p, &inputs)
+                .seed(7)
+                .budget(512)
+                .run(Box::new(RandomWalk::new(7)));
+            black_box(out.total_steps)
+        })
+    });
+    c.bench_function("conc/controlled_run_pct", |b| {
+        b.iter(|| {
+            let out = ControlledRun::new(&p, &inputs)
+                .seed(7)
+                .budget(512)
+                .run(Box::new(Pct::new(7, 2, 3, 512)));
+            black_box(out.total_steps)
+        })
+    });
+    c.bench_function("conc/free_running_threads", |b| {
+        b.iter(|| black_box(run_on_threads(&p, &inputs, 7, 5_000_000).steps.clone()))
+    });
+    let mutant = RacyTwo::default();
+    c.bench_function("conc/shrink_failing_schedule", |b| {
+        let cfg = StressConfig {
+            trials: 64,
+            root_seed: 1,
+            budget: 64,
+            jobs: 0,
+            strategy: StrategySpec::Pct { depth: 1 },
+            max_failure_samples: 5,
+        };
+        let pct = stress(&mutant, &inputs, &cfg, None);
+        let first = pct.failures.first().expect("PCT finds the mutant");
+        let (seed, outcome) =
+            rerun_trial_with_codec(&mutant, &inputs, &PackCodec, &cfg, first.trial);
+        b.iter(|| {
+            let minimal = ddmin_schedule(&outcome.schedule, |candidate| {
+                let out = ControlledRun::new(&mutant, &inputs)
+                    .seed(seed)
+                    .budget(cfg.budget)
+                    .run(Box::new(ReplaySchedule::best_effort(candidate.to_vec())));
+                classify(&out).outcome == TrialOutcome::Inconsistent
+            });
+            black_box(minimal.len())
+        })
+    });
+}
+
+fn main() {
+    let smoke = check_detection();
+    write_report(&smoke);
+    // `cargo bench ... -- --test` smoke mode: detection checks and the
+    // JSON report only; skip the timed loops.
+    if std::env::args().any(|a| a == "--test") {
+        println!("conc bench smoke mode: detection and shrink checks passed");
+        return;
+    }
+    let mut c = Criterion::default();
+    bench_conc(&mut c);
+}

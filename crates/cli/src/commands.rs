@@ -4,6 +4,10 @@ use crate::args::{parse_inputs, Args};
 use crate::CliFailure;
 use cil_analysis::fnum;
 use cil_audit::{AuditReport, Auditor, MutantKind, MutantTwo, TraceAuditor};
+use cil_conc::{
+    classify, ddmin_schedule, rerun_trial_with_codec, stress_with_codec, ControlledRun, RacyTwo,
+    ReplaySchedule, StrategySpec, StressConfig,
+};
 use cil_core::apps::{elect_leader, MutexLog};
 use cil_core::deterministic::{DetRule, DetTwo};
 use cil_core::kvalued::{KReg, KValued};
@@ -12,6 +16,7 @@ use cil_core::n_unbounded_1w1r::NUnbounded1W1R;
 use cil_core::naive::Naive;
 use cil_core::three_bounded::ThreeBounded;
 use cil_core::two::TwoProcessor;
+use cil_core::KRegCodec;
 use cil_mc::mdp::{MdpSolver, Objective};
 use cil_mc::{
     construct_infinite_schedule, CompactExplorer, CompactMdp, CompactOptions, Explorer,
@@ -22,8 +27,8 @@ use cil_obs::{JsonlSink, LevelReporter, ProgressMeter, Registry};
 use cil_registers::Packable;
 use cil_sim::{
     parse_schedule, run_on_threads, Adversary, Alternator, BoxedAdversary, FixedSchedule,
-    LaggardFirst, LeaderFirst, Protocol, RandomScheduler, Rng as _, RoundRobin, Runner,
-    SplitKeeper, SweepObserver, TrialResult, TrialSweep, Val,
+    LaggardFirst, LeaderFirst, PackCodec, Protocol, RandomScheduler, Rng as _, RoundRobin, Runner,
+    SplitKeeper, SweepObserver, TrialOutcome, TrialResult, TrialSweep, Val, WordCodec,
 };
 use std::fmt::Write as _;
 
@@ -57,12 +62,28 @@ USAGE:
   cil theorem4  --rule <R> [--steps N]             construct the infinite schedule
   cil elect     [--n N] [--rounds N]               leader election / mutual exclusion
   cil threads   --protocol <P> --inputs ... [--seed N]   real OS threads
+  cil conc stress  --protocol <P> --inputs a,b[,..] [--strategy <S>]
+                [--trials N] [--seed N] [--budget N] [--jobs N] [--progress]
+                [--metrics-out <file>] [--trace-json <file>] [--trace-trial N]
+                controlled native threads: every register operation is a
+                yield point scheduled by a seeded strategy; a whole batch is
+                a pure function of (--seed, --strategy) at any --jobs
+  cil conc replay  <file> [--audit]        re-execute a conc capture's
+                recorded schedule and verify the regenerated event stream
+                byte-for-byte; --audit adds the happens-before audit
+  cil conc shrink  --protocol <P> --inputs a,b[,..] --trial N
+                [--strategy <S>] [--seed N] [--budget N]   delta-debug a
+                failing stress trial's schedule to a 1-minimal repro
   cil help
 
 PROTOCOLS <P>: two | fig2 | fig2-literal | fig2-1w1r | fig3 | naive
                | n:<count> | kvalued:<k>
+               (conc also accepts det:<R> and mutant:racy, the planted
+               interleaving-sensitive consistency bug)
 ADVERSARIES <A>: round-robin | random | split-keeper | laggard | leader
                | alternator | lookahead:<h> | \"(2,3,3,2,1)\" (paper notation)
+STRATEGIES <S> (conc): random | pct | pct:<d> — pct randomizes thread
+      priorities with d-1 change points (detection probability >= 1/(n*k^(d-1)))
 RULES <R>: always-adopt | always-keep | adopt-if-greater | alternate
 JOBS: --jobs 0 (default) = all cores, 1 = serial; results are identical at
       every setting — only wall time changes.
@@ -941,11 +962,12 @@ where
     let out = run_on_threads(protocol, &inputs, seed, 5_000_000);
     Ok(format!(
         "{} on {} OS threads over AtomicU64 registers\n\
-         decisions: {:?}   steps: {:?}\nagreed: {:?}",
+         decisions: {:?}   steps: {:?}   coin flips: {:?}\nagreed: {:?}\n",
         protocol.name(),
         protocol.processes(),
         out.decisions,
         out.steps,
+        out.flips,
         out.agreed()
     ))
 }
@@ -969,4 +991,465 @@ pub fn threads(args: &Args) -> Result<String, String> {
              (word-packable registers required)"
         )),
     }
+}
+
+/// Like `with_protocol!`, but for the controlled native backend: the
+/// callee also receives the [`WordCodec`] matching the protocol's register
+/// encoding, and the spec space additionally covers `det:<R>` (the
+/// Theorem 4 deterministic victims) and `mutant:racy` (the planted
+/// interleaving-sensitive consistency bug).
+macro_rules! with_conc_protocol {
+    ($args:expr, $f:ident) => {{
+        let args = $args;
+        let spec = args.get_or("protocol", "two");
+        let n_inputs = parse_inputs(args.get_or("inputs", ""))?.len();
+        match spec {
+            "two" => $f(&TwoProcessor::new(), &PackCodec, args),
+            "fig2" => $f(&NUnbounded::three(), &PackCodec, args),
+            "fig2-literal" => $f(&NUnbounded::literal_fig2(3), &PackCodec, args),
+            "fig2-1w1r" => $f(&NUnbounded1W1R::three(), &PackCodec, args),
+            "fig3" => $f(&ThreeBounded::new(), &PackCodec, args),
+            "naive" => $f(&Naive::new(n_inputs.max(2)), &PackCodec, args),
+            "mutant:racy" => $f(&RacyTwo::default(), &PackCodec, args),
+            s if s.starts_with("det:") => {
+                let rule = parse_rule(&s["det:".len()..])?;
+                $f(&DetTwo::new(rule), &PackCodec, args)
+            }
+            s if s.starts_with("n:") => {
+                let n: usize = s[2..]
+                    .parse()
+                    .map_err(|_| format!("bad processor count in '{s}'"))?;
+                $f(&NUnbounded::new(n), &PackCodec, args)
+            }
+            s if s.starts_with("kvalued:") => {
+                let k: u64 = s["kvalued:".len()..]
+                    .parse()
+                    .map_err(|_| format!("bad k in '{s}'"))?;
+                // KReg has no uniform Packable encoding; the per-register
+                // codec mirrors the audit packer (None -> 0, Some(v) -> v+1).
+                if n_inputs <= 2 {
+                    let p = KValued::new(TwoProcessor::new(), k);
+                    let codec = KRegCodec::for_protocol(&p);
+                    $f(&p, &codec, args)
+                } else {
+                    let p = KValued::new(NUnbounded::new(n_inputs), k);
+                    let codec = KRegCodec::for_protocol(&p);
+                    $f(&p, &codec, args)
+                }
+            }
+            other => Err(CliFailure::Usage(format!(
+                "unknown protocol '{other}' (see cil help)"
+            ))),
+        }
+    }};
+}
+
+/// `cil conc stress|replay|shrink` — controlled native-thread concurrency
+/// testing: every register operation is a yield point, scheduled by a
+/// seeded [`StrategySpec`].
+///
+/// # Errors
+///
+/// [`CliFailure::Audit`] (exit 1) when `conc replay` finds divergence or
+/// trace anomalies; [`CliFailure::Usage`] (exit 2) otherwise.
+pub fn conc(args: &Args) -> Result<String, CliFailure> {
+    match args.pos(0) {
+        Some("stress") => with_conc_protocol!(args, conc_stress_one),
+        Some("replay") => conc_replay(args),
+        Some("shrink") => with_conc_protocol!(args, conc_shrink_one),
+        Some(other) => Err(CliFailure::Usage(format!(
+            "unknown conc subcommand '{other}' (one of: stress | replay | shrink)"
+        ))),
+        None => Err(CliFailure::Usage(
+            "conc needs a subcommand: cil conc stress|replay|shrink (see cil help)".into(),
+        )),
+    }
+}
+
+/// Parses the shared knobs of `conc stress` and `conc shrink`.
+fn conc_config(args: &Args) -> Result<StressConfig, CliFailure> {
+    Ok(StressConfig {
+        trials: args.get_u64("trials", 256)?,
+        root_seed: args.get_u64("seed", 0)?,
+        budget: args.get_u64("budget", 4096)?,
+        jobs: args.get_u64("jobs", 0)? as usize,
+        strategy: StrategySpec::parse(args.get_or("strategy", "random"))?,
+        max_failure_samples: 5,
+    })
+}
+
+fn conc_check_arity<P: Protocol>(protocol: &P, inputs: &[Val]) -> Result<(), CliFailure> {
+    if inputs.len() != protocol.processes() {
+        return Err(CliFailure::Usage(format!(
+            "--inputs: expected {} values for {}, got {}",
+            protocol.processes(),
+            protocol.name(),
+            inputs.len()
+        )));
+    }
+    Ok(())
+}
+
+fn conc_stress_one<P, C>(protocol: &P, codec: &C, args: &Args) -> Result<String, CliFailure>
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+    C: WordCodec<P::Reg>,
+{
+    let inputs = parse_inputs(args.get_or("inputs", ""))?;
+    conc_check_arity(protocol, &inputs)?;
+    let cfg = conc_config(args)?;
+    let metrics_out = args.get("metrics-out");
+    let registry = Registry::new();
+    let observer = (args.flag("progress") || metrics_out.is_some()).then(|| {
+        let mut obs = SweepObserver::with_prefix(&registry, "conc");
+        if args.flag("progress") {
+            obs = obs.with_progress(ProgressMeter::new("conc", Some(cfg.trials)));
+        }
+        obs
+    });
+    let stats = stress_with_codec(protocol, &inputs, codec, &cfg, observer.as_ref());
+    if let Some(obs) = &observer {
+        obs.finish();
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, registry.snapshot().to_json())
+            .map_err(|e| format!("cannot write --metrics-out file '{path}': {e}"))?;
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "protocol : {}   (controlled native threads)",
+        protocol.name()
+    );
+    let _ = writeln!(
+        s,
+        "strategy : {}   root seed: {}   budget: {}",
+        cfg.strategy.label(),
+        cfg.root_seed,
+        cfg.budget
+    );
+    let _ = writeln!(
+        s,
+        "\ntrials: {}   decided: {}   undecided: {}   violations: {}",
+        stats.trials,
+        stats.decided,
+        stats.undecided,
+        stats.violations()
+    );
+    let _ = writeln!(
+        s,
+        "steps: mean {}   min {}   max {}",
+        stats.mean().map(fnum).unwrap_or_else(|| "—".into()),
+        stats.metric_min().unwrap_or(0),
+        stats.metric_max().unwrap_or(0)
+    );
+    if let (Some(lo), Some(hi)) = (
+        stats.decided_by_k.keys().next(),
+        stats.decided_by_k.keys().next_back(),
+    ) {
+        let _ = writeln!(s, "decided-by-k support: {lo}..={hi} steps");
+    }
+    if stats.failures.is_empty() {
+        let _ = writeln!(s, "\nno safety violations in {} trials ✓", stats.trials);
+    } else {
+        let _ = writeln!(s, "\nfailing trials (shrink with `cil conc shrink ...`):");
+        for f in &stats.failures {
+            let _ = writeln!(
+                s,
+                "  trial {:>6}  {:?}  shrink: cil conc shrink --protocol {} --inputs {} \
+                 --strategy {} --seed {} --budget {} --trial {}",
+                f.trial,
+                f.kind,
+                args.get_or("protocol", "two"),
+                args.get_or("inputs", ""),
+                cfg.strategy.label(),
+                cfg.root_seed,
+                cfg.budget,
+                f.trial,
+            );
+        }
+    }
+    if let Some(path) = args.get("trace-json") {
+        let trial = args.get_u64("trace-trial", 0)?;
+        if trial >= cfg.trials {
+            return Err(CliFailure::Usage(format!(
+                "--trace-trial {trial} is out of range (the batch has {} trials)",
+                cfg.trials
+            )));
+        }
+        let (_, outcome) = rerun_trial_with_codec(protocol, &inputs, codec, &cfg, trial);
+        let body = conc_capture_body(args, &cfg, trial, &outcome);
+        std::fs::write(path, body)
+            .map_err(|e| format!("cannot write --trace-json file '{path}': {e}"))?;
+        let _ = writeln!(
+            s,
+            "trial {trial} captured: {} JSONL records -> {path}   \
+             (verify: cil conc replay {path})",
+            outcome.events.len()
+        );
+    }
+    Ok(s)
+}
+
+/// Serializes one captured trial as a conc JSONL capture: a meta record
+/// carrying everything `conc replay` needs, then the event stream.
+fn conc_capture_body(
+    args: &Args,
+    cfg: &StressConfig,
+    trial: u64,
+    outcome: &cil_conc::ConcOutcome,
+) -> String {
+    let seed = cil_sim::SplitMix64::jump(cfg.root_seed, trial).next_u64();
+    let meta = json::ObjWriter::new()
+        .str("type", "meta")
+        .str("mode", "conc")
+        .str("protocol", args.get_or("protocol", "two"))
+        .str("inputs", args.get_or("inputs", ""))
+        .num("seed", seed)
+        .num("budget", cfg.budget)
+        .str("strategy", &cfg.strategy.label())
+        .num("trial", trial)
+        .num("root_seed", cfg.root_seed)
+        .finish();
+    format!("{meta}\n{}\n", outcome.events_jsonl())
+}
+
+/// `cil conc replay <file> [--audit]` — re-execute a conc capture's
+/// recorded schedule under strict replay and verify the regenerated event
+/// stream byte-for-byte. The controlled scheduler makes a run a pure
+/// function of `(seed, schedule)`, so a successful replay certifies the
+/// capture really is the deterministic record of that native execution.
+/// With `--audit`, the capture is additionally checked to be a valid
+/// serialization of atomic register operations (happens-before audit).
+fn conc_replay(args: &Args) -> Result<String, CliFailure> {
+    let path = args.pos(1).or_else(|| args.get("file")).ok_or_else(|| {
+        "conc replay needs a capture file: cil conc replay <out.jsonl>".to_string()
+    })?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let mut lines = text.lines();
+    let meta_line = lines.next().ok_or_else(|| format!("'{path}' is empty"))?;
+    let meta = json::parse_flat(meta_line).map_err(|e| format!("bad meta line: {e}"))?;
+    if meta.get("type").and_then(Value::as_str) != Some("meta")
+        || meta.get("mode").and_then(Value::as_str) != Some("conc")
+    {
+        return Err(CliFailure::Usage(format!(
+            "'{path}' is not a conc capture (create one with \
+             cil conc stress --trace-json)"
+        )));
+    }
+    let meta_str = |k: &str| {
+        meta.get(k)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("meta record missing '{k}'"))
+    };
+    let meta_num = |k: &str| {
+        meta.get(k)
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("meta record missing '{k}'"))
+    };
+    let protocol = meta_str("protocol")?;
+    let inputs = meta_str("inputs")?;
+    let seed = meta_num("seed")?;
+    let budget = meta_num("budget")?;
+    let captured: Vec<&str> = lines.collect();
+
+    // The recorded schedule: pids of the step events, in serialization
+    // order (zero-based — the controlled scheduler's own notation).
+    let mut schedule = Vec::new();
+    for (i, line) in captured.iter().enumerate() {
+        let ev = json::parse_flat(line).map_err(|e| format!("bad event on line {}: {e}", i + 2))?;
+        if ev.get("type").and_then(Value::as_str) == Some("step") {
+            let pid = ev
+                .get("pid")
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("step event on line {} has no pid", i + 2))?;
+            schedule.push(pid.to_string());
+        }
+    }
+    let tokens = [
+        "conc".to_string(),
+        "--protocol".into(),
+        protocol.to_string(),
+        "--inputs".into(),
+        inputs.to_string(),
+        "--seed".into(),
+        seed.to_string(),
+        "--budget".into(),
+        budget.to_string(),
+        "--schedule".into(),
+        schedule.join(","),
+    ];
+    let inner = Args::parse(tokens, &[])?;
+
+    let mut audit_section = String::new();
+    if args.flag("audit") {
+        let auditor = with_conc_protocol!(&inner, conc_auditor_one)?;
+        let report = auditor.audit_jsonl(&captured.join("\n"))?;
+        audit_section = report.render();
+        if !report.ok() {
+            return Err(CliFailure::Audit(format!(
+                "trace '{path}' FAILED the happens-before audit:\n{audit_section}"
+            )));
+        }
+    }
+
+    let regenerated = with_conc_protocol!(&inner, conc_capture_one)?;
+    let regen: Vec<&str> = regenerated.lines().collect();
+    for (i, (a, b)) in captured.iter().zip(&regen).enumerate() {
+        if a != b {
+            return Err(CliFailure::Audit(format!(
+                "conc replay DIVERGED at event {i}:\n  captured: {a}\n  replayed: {b}"
+            )));
+        }
+    }
+    if captured.len() != regen.len() {
+        return Err(CliFailure::Audit(format!(
+            "conc replay DIVERGED: {} captured events vs {} replayed",
+            captured.len(),
+            regen.len()
+        )));
+    }
+    let mut s = format!(
+        "replayed {protocol} under the controlled scheduler from '{path}' \
+         (seed {seed}, {} steps)\n\
+         {} events re-executed — trace matches byte-for-byte ✓\n",
+        schedule.len(),
+        captured.len()
+    );
+    if !audit_section.is_empty() {
+        let _ = writeln!(s, "\nhappens-before audit of the capture:");
+        s.push_str(&audit_section);
+    }
+    Ok(s)
+}
+
+/// Builds the happens-before auditor for a conc protocol spec (used by
+/// `cil conc replay --audit`).
+fn conc_auditor_one<P, C>(
+    protocol: &P,
+    _codec: &C,
+    _args: &Args,
+) -> Result<TraceAuditor, CliFailure>
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+    C: WordCodec<P::Reg>,
+{
+    Ok(TraceAuditor::for_protocol(protocol))
+}
+
+/// Re-runs a protocol under strict replay of a recorded schedule and
+/// returns the regenerated JSONL event body (no meta line).
+fn conc_capture_one<P, C>(protocol: &P, codec: &C, args: &Args) -> Result<String, CliFailure>
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+    C: WordCodec<P::Reg>,
+{
+    let inputs = parse_inputs(args.get_or("inputs", ""))?;
+    conc_check_arity(protocol, &inputs)?;
+    let seed = args.get_u64("seed", 0)?;
+    let budget = args.get_u64("budget", 4096)?;
+    let schedule = parse_conc_schedule(args.get_or("schedule", ""))?;
+    let outcome = ControlledRun::new(protocol, &inputs)
+        .seed(seed)
+        .budget(budget)
+        .capture(true)
+        .run_with_codec(codec, Box::new(ReplaySchedule::strict(schedule)));
+    Ok(outcome.events_jsonl())
+}
+
+/// Parses a comma-separated list of zero-based pids.
+fn parse_conc_schedule(spec: &str) -> Result<Vec<usize>, String> {
+    if spec.is_empty() {
+        return Ok(Vec::new());
+    }
+    spec.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad schedule entry '{t}'"))
+        })
+        .collect()
+}
+
+/// `cil conc shrink` — re-derive one failing stress trial and delta-debug
+/// its schedule to a 1-minimal repro that still fails. Candidate schedules
+/// are re-executed with best-effort replay, whose deterministic fallback
+/// keeps truncated schedules runnable.
+fn conc_shrink_one<P, C>(protocol: &P, codec: &C, args: &Args) -> Result<String, CliFailure>
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+    C: WordCodec<P::Reg>,
+{
+    let inputs = parse_inputs(args.get_or("inputs", ""))?;
+    conc_check_arity(protocol, &inputs)?;
+    let cfg = conc_config(args)?;
+    let trial = args.get_u64("trial", 0)?;
+    let (trial_seed, outcome) = rerun_trial_with_codec(protocol, &inputs, codec, &cfg, trial);
+    let kind = classify(&outcome).outcome;
+    if !matches!(kind, TrialOutcome::Inconsistent | TrialOutcome::Trivial) {
+        return Err(CliFailure::Usage(format!(
+            "trial {trial} of {} under {} (root seed {}) did not violate safety \
+             ({kind:?}) — nothing to shrink",
+            protocol.name(),
+            cfg.strategy.label(),
+            cfg.root_seed
+        )));
+    }
+    let replay_fails = |candidate: &[usize]| {
+        let out = ControlledRun::new(protocol, &inputs)
+            .seed(trial_seed)
+            .budget(cfg.budget)
+            .run_with_codec(
+                codec,
+                Box::new(ReplaySchedule::best_effort(candidate.to_vec())),
+            );
+        classify(&out).outcome == kind
+    };
+    let minimal = ddmin_schedule(&outcome.schedule, replay_fails);
+    let revalidated = replay_fails(&minimal);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "protocol : {}   strategy: {}   trial: {trial}   trial seed: {trial_seed}",
+        protocol.name(),
+        cfg.strategy.label()
+    );
+    let _ = writeln!(
+        s,
+        "failure  : {kind:?} after {} scheduled steps",
+        outcome.schedule.len()
+    );
+    let _ = writeln!(
+        s,
+        "\n1-minimal repro: {} preemption points (removing any single entry \
+         makes the failure vanish)",
+        minimal.len()
+    );
+    let _ = writeln!(s, "  schedule: {minimal:?}");
+    let _ = writeln!(
+        s,
+        "  re-validated under best-effort replay: still fails — {revalidated}"
+    );
+    if let Some(path) = args.get("trace-json") {
+        let repro = ControlledRun::new(protocol, &inputs)
+            .seed(trial_seed)
+            .budget(cfg.budget)
+            .capture(true)
+            .run_with_codec(
+                codec,
+                Box::new(ReplaySchedule::best_effort(minimal.clone())),
+            );
+        let body = conc_capture_body(args, &cfg, trial, &repro);
+        std::fs::write(path, body)
+            .map_err(|e| format!("cannot write --trace-json file '{path}': {e}"))?;
+        let _ = writeln!(
+            s,
+            "  minimal repro captured -> {path}   (verify: cil conc replay {path})"
+        );
+    }
+    Ok(s)
 }

@@ -15,6 +15,9 @@
 //! cil theorem4  --rule always-adopt --steps 100000
 //! cil elect     --n 3 --rounds 10
 //! cil threads   --protocol two --inputs a,b --seed 1
+//! cil conc      stress --protocol two --inputs a,b --strategy pct --trials 256
+//! cil conc      replay out.jsonl [--audit]
+//! cil conc      shrink --protocol mutant:racy --inputs a,b --trial 3
 //! cil help
 //! ```
 //!
@@ -99,6 +102,7 @@ pub fn dispatch_full<I: IntoIterator<Item = String>>(tokens: I) -> Result<String
         "theorem4" => usage(commands::theorem4(&args)),
         "elect" => usage(commands::elect(&args)),
         "threads" => usage(commands::threads(&args)),
+        "conc" => commands::conc(&args),
         "" | "help" | "--help" | "-h" => Ok(commands::help()),
         other => Err(CliFailure::Usage(format!(
             "unknown command '{other}'\n\n{}",
@@ -138,6 +142,7 @@ mod tests {
             "theorem4",
             "elect",
             "threads",
+            "conc",
             "--jobs",
             "--trace-json",
             "--metrics-out",
@@ -156,6 +161,7 @@ mod tests {
         // The usage text must list every current subcommand.
         for c in [
             "run", "replay", "sweep", "check", "mdp", "survival", "theorem4", "elect", "threads",
+            "conc",
         ] {
             assert!(e.contains(c), "usage missing {c}");
         }

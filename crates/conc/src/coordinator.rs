@@ -1,0 +1,235 @@
+//! The controlled scheduler: serializes native threads at register-op
+//! granularity under a pluggable [`Strategy`].
+//!
+//! The coordinator implements [`cil_sim::ThreadGate`], so it plugs directly
+//! into [`cil_sim::run_on_threads_gated`]'s yield points. Scheduling is
+//! fully distributed over the protocol threads themselves (no extra
+//! scheduler thread): a mutex-protected state machine tracks each thread as
+//! *running*, *parked*, *granted*, or *retired*, and a dispatch is attempted
+//! whenever a thread parks or retires. A step is only granted when **every**
+//! live thread is parked, so the strategy always chooses from the complete
+//! runnable set and at most one thread touches shared registers at a time —
+//! this is what makes a run a deterministic function of `(seed, strategy)`
+//! and lets a recorded schedule be replayed exactly.
+//!
+//! While serialized, each step appends its `cil-obs` events (grant, coins,
+//! step, decision) in the same order the simulator's `Runner` emits them,
+//! so the happens-before auditor consumes controlled native traces
+//! unchanged.
+
+use crate::strategy::Strategy;
+use cil_obs::{CoinStage, OpKind, RunEvent};
+use cil_sim::{StepRecord, ThreadGate};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a controlled run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcHalt {
+    /// Every thread decided.
+    Done,
+    /// The global step budget was exhausted.
+    Budget,
+    /// The strategy declined to schedule (strict replay diverged or ran out
+    /// of schedule).
+    ScheduleEnded,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Between yield points (initially, or after a grant was used).
+    Running,
+    /// Waiting at a yield point for a grant.
+    Parked,
+    /// Allowed to take the next step.
+    Granted,
+    /// Will take no further steps.
+    Retired,
+}
+
+struct SchedState {
+    status: Vec<Status>,
+    strategy: Box<dyn Strategy>,
+    /// Completed steps (also the index of the next step).
+    step: u64,
+    budget: u64,
+    /// Set once the run aborts; retains the reason for [`Coordinator::finish`].
+    halt: Option<ConcHalt>,
+    schedule: Vec<usize>,
+    events: Option<Vec<RunEvent>>,
+}
+
+/// A [`ThreadGate`] that serializes steps under a [`Strategy`], records the
+/// schedule, and optionally captures `cil-obs` events.
+pub struct Coordinator {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Coordinator {
+    /// A coordinator for `threads` threads, stopping after `budget` total
+    /// steps. With `capture`, every step's events are recorded for JSONL
+    /// export and auditing.
+    pub fn new(threads: usize, budget: u64, strategy: Box<dyn Strategy>, capture: bool) -> Self {
+        Coordinator {
+            state: Mutex::new(SchedState {
+                status: vec![Status::Running; threads],
+                strategy,
+                step: 0,
+                budget,
+                halt: None,
+                schedule: Vec::new(),
+                events: capture.then(Vec::new),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Consumes the coordinator after all threads joined, yielding the halt
+    /// reason, the executed schedule (one pid per step, in order), and the
+    /// captured events (empty unless capturing).
+    pub fn finish(self) -> (ConcHalt, Vec<usize>, Vec<RunEvent>) {
+        let st = self
+            .state
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        (
+            st.halt.unwrap_or(ConcHalt::Done),
+            st.schedule,
+            st.events.unwrap_or_default(),
+        )
+    }
+
+    /// Attempts to grant the next step. Called whenever a thread parks or
+    /// retires; a no-op unless *every* live thread is parked (so the
+    /// strategy always sees the complete runnable set) and no grant is
+    /// outstanding.
+    fn try_dispatch(st: &mut SchedState, cv: &Condvar) {
+        if st.halt.is_some() {
+            cv.notify_all();
+            return;
+        }
+        if st
+            .status
+            .iter()
+            .any(|s| matches!(s, Status::Granted | Status::Running))
+        {
+            return;
+        }
+        let runnable: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Parked)
+            .map(|(pid, _)| pid)
+            .collect();
+        if runnable.is_empty() {
+            // Everyone retired; joining threads need no wake-up.
+            return;
+        }
+        if st.step >= st.budget {
+            st.halt = Some(ConcHalt::Budget);
+            cv.notify_all();
+            return;
+        }
+        match st.strategy.next(&runnable, st.step) {
+            Some(pid) => {
+                debug_assert!(
+                    runnable.contains(&pid),
+                    "strategy scheduled non-runnable thread {pid}"
+                );
+                if let Some(events) = st.events.as_mut() {
+                    events.push(RunEvent::Grant {
+                        index: st.step,
+                        pid,
+                        runnable: runnable.len(),
+                    });
+                }
+                st.status[pid] = Status::Granted;
+                cv.notify_all();
+            }
+            None => {
+                st.halt = Some(ConcHalt::ScheduleEnded);
+                cv.notify_all();
+            }
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl ThreadGate for Coordinator {
+    fn acquire(&self, pid: usize) -> bool {
+        let mut st = self.lock();
+        if st.halt.is_some() {
+            return false;
+        }
+        st.status[pid] = Status::Parked;
+        Self::try_dispatch(&mut st, &self.cv);
+        loop {
+            if st.status[pid] == Status::Granted {
+                return true;
+            }
+            if st.halt.is_some() {
+                return false;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn release(&self, record: StepRecord<'_>) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.status[record.pid], Status::Granted);
+        st.status[record.pid] = Status::Running;
+        let index = st.step;
+        if let Some(events) = st.events.as_mut() {
+            let pid = record.pid;
+            if let Some(branches) = record.choose_branches {
+                events.push(RunEvent::CoinFlip {
+                    index,
+                    pid,
+                    stage: CoinStage::Choose,
+                    branches,
+                });
+            }
+            if let Some(branches) = record.transit_branches {
+                events.push(RunEvent::CoinFlip {
+                    index,
+                    pid,
+                    stage: CoinStage::Transit,
+                    branches,
+                });
+            }
+            events.push(RunEvent::Step {
+                index,
+                pid,
+                op: if record.write {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                },
+                reg: record.reg.0,
+                value: format!("{:?}", record.value),
+            });
+            if let Some(v) = record.decision {
+                events.push(RunEvent::Decision {
+                    index,
+                    pid,
+                    value: v.0,
+                });
+            }
+        }
+        st.schedule.push(record.pid);
+        st.step += 1;
+        // No dispatch here: the next grant happens when this thread parks
+        // again or retires, so between a release and the releasing thread's
+        // next yield point nothing else runs — exactly one step in flight.
+    }
+
+    fn retire(&self, pid: usize) {
+        let mut st = self.lock();
+        st.status[pid] = Status::Retired;
+        Self::try_dispatch(&mut st, &self.cv);
+    }
+}

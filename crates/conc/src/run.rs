@@ -1,0 +1,183 @@
+//! One controlled native run: builder, outcome, and safety classification.
+
+use crate::coordinator::{ConcHalt, Coordinator};
+use crate::strategy::Strategy;
+use cil_obs::RunEvent;
+use cil_registers::Packable;
+use cil_sim::{run_on_threads_gated, PackCodec, Protocol, Val, WordCodec};
+
+/// Builder for a controlled native run of one protocol.
+///
+/// Mirrors the simulator's `Runner` builder: protocol + inputs, then
+/// `seed`/`budget`/`capture` knobs, then [`run`](ControlledRun::run) with a
+/// strategy. The run executes on real OS threads over atomic hardware
+/// registers, serialized by a [`Coordinator`].
+#[derive(Debug)]
+pub struct ControlledRun<'a, P> {
+    protocol: &'a P,
+    inputs: &'a [Val],
+    seed: u64,
+    budget: u64,
+    capture: bool,
+}
+
+impl<'a, P> ControlledRun<'a, P>
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+{
+    /// A run of `protocol` with one input per processor.
+    pub fn new(protocol: &'a P, inputs: &'a [Val]) -> Self {
+        ControlledRun {
+            protocol,
+            inputs,
+            seed: 0,
+            budget: 4096,
+            capture: false,
+        }
+    }
+
+    /// Seed for the per-thread coin-flip streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Global step budget (total register operations across all threads).
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Record `cil-obs` events (grants, coins, steps, decisions) for JSONL
+    /// export, replay comparison, and happens-before auditing.
+    pub fn capture(mut self, yes: bool) -> Self {
+        self.capture = yes;
+        self
+    }
+
+    /// Runs under `strategy` with a custom [`WordCodec`] (for protocols
+    /// whose registers have no uniform [`Packable`] encoding).
+    pub fn run_with_codec<C>(&self, codec: &C, strategy: Box<dyn Strategy>) -> ConcOutcome
+    where
+        C: WordCodec<P::Reg>,
+    {
+        let n = self.protocol.processes();
+        let coordinator = Coordinator::new(n, self.budget, strategy, self.capture);
+        let out = run_on_threads_gated(
+            self.protocol,
+            self.inputs,
+            self.seed,
+            self.budget,
+            codec,
+            &coordinator,
+        );
+        let (halt, schedule, step_events) = coordinator.finish();
+        let mut events = Vec::new();
+        if self.capture {
+            events.reserve(step_events.len() + 2);
+            events.push(RunEvent::SpanBegin {
+                name: "conc".into(),
+                detail: self.protocol.name(),
+            });
+            events.extend(step_events);
+            events.push(RunEvent::SpanEnd {
+                name: "conc".into(),
+                detail: format!("{halt:?}"),
+            });
+        }
+        ConcOutcome {
+            inputs: self.inputs.to_vec(),
+            decisions: out.decisions,
+            steps: out.steps,
+            flips: out.flips,
+            total_steps: schedule.len() as u64,
+            halt,
+            schedule,
+            events,
+        }
+    }
+}
+
+impl<P> ControlledRun<'_, P>
+where
+    P: Protocol + Sync,
+    P::Reg: Packable + Send + Sync,
+{
+    /// Runs under `strategy` with the [`Packable`] encoding.
+    pub fn run(&self, strategy: Box<dyn Strategy>) -> ConcOutcome {
+        self.run_with_codec(&PackCodec, strategy)
+    }
+}
+
+/// What a controlled native run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcOutcome {
+    /// The inputs the run started from (for nontriviality checking).
+    pub inputs: Vec<Val>,
+    /// Decision per processor (`None` = undecided when the run halted).
+    pub decisions: Vec<Option<Val>>,
+    /// Steps each thread performed.
+    pub steps: Vec<u64>,
+    /// Coin flips each thread consumed.
+    pub flips: Vec<u64>,
+    /// Total serialized steps (= `schedule.len()`).
+    pub total_steps: u64,
+    /// Why the run stopped.
+    pub halt: ConcHalt,
+    /// The executed schedule: the pid of each step, in serialization order.
+    pub schedule: Vec<usize>,
+    /// Captured `cil-obs` events (empty unless capturing was requested).
+    pub events: Vec<RunEvent>,
+}
+
+impl ConcOutcome {
+    /// The common decided value, if every processor decided on one value.
+    pub fn agreement(&self) -> Option<Val> {
+        let first = self.decisions.first().copied().flatten()?;
+        self.decisions
+            .iter()
+            .all(|d| *d == Some(first))
+            .then_some(first)
+    }
+
+    /// Paper requirement 1 (consistency): no two processors decided
+    /// different values. Vacuously true while undecided.
+    pub fn consistent(&self) -> bool {
+        let mut seen: Option<Val> = None;
+        for d in self.decisions.iter().flatten() {
+            match seen {
+                None => seen = Some(*d),
+                Some(v) if v != *d => return false,
+                Some(_) => {}
+            }
+        }
+        true
+    }
+
+    /// Paper requirement 2 (nontriviality): every decided value is the
+    /// input of some processor that took at least one step.
+    pub fn nontrivial(&self) -> bool {
+        self.decisions.iter().flatten().all(|d| {
+            self.inputs
+                .iter()
+                .zip(&self.steps)
+                .any(|(input, &steps)| input == d && steps > 0)
+        })
+    }
+
+    /// Whether every processor decided.
+    pub fn all_decided(&self) -> bool {
+        self.decisions.iter().all(Option::is_some)
+    }
+
+    /// The captured events as JSON lines (one per event, no trailing
+    /// newline).
+    pub fn events_jsonl(&self) -> String {
+        self.events
+            .iter()
+            .map(RunEvent::to_json)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}

@@ -1,0 +1,142 @@
+//! Trial-sweep adapter: batches of controlled native runs with the same
+//! deterministic statistics engine as `cil sweep`.
+//!
+//! Each trial derives its seed from the sweep's root seed
+//! (`SplitMix64::jump`), builds a fresh strategy from that seed, and runs
+//! the protocol under the controlled scheduler. Results fold into the
+//! jobs-invariant [`SweepStats`], so native decided-by-`k` decay statistics
+//! come out directly comparable with the simulator's Corollary curve — and
+//! a whole stress batch is reproducible from `(root_seed, strategy)` alone,
+//! at any `--jobs` setting.
+
+use crate::run::{ConcOutcome, ControlledRun};
+use crate::strategy::StrategySpec;
+use cil_registers::Packable;
+use cil_sim::{
+    PackCodec, Protocol, Rng, SweepObserver, SweepStats, TrialOutcome, TrialResult, TrialSweep,
+    Val, WordCodec,
+};
+
+/// Configuration of one controlled stress batch.
+#[derive(Debug, Clone)]
+pub struct StressConfig {
+    /// Number of controlled runs.
+    pub trials: u64,
+    /// Root seed; trial seeds derive from it deterministically.
+    pub root_seed: u64,
+    /// Global step budget per run.
+    pub budget: u64,
+    /// Worker threads for the sweep (`0` = all cores). Each *trial* still
+    /// spawns its own protocol threads; jobs only parallelize across
+    /// trials.
+    pub jobs: usize,
+    /// Scheduling strategy, instantiated per trial from the trial seed.
+    pub strategy: StrategySpec,
+    /// Failing-trial samples to keep (lowest trial indices).
+    pub max_failure_samples: usize,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            trials: 256,
+            root_seed: 0,
+            budget: 4096,
+            jobs: 1,
+            strategy: StrategySpec::Random,
+            max_failure_samples: 5,
+        }
+    }
+}
+
+/// Classifies one controlled run the way `cil sweep` classifies simulator
+/// trials: inconsistency dominates triviality; undecided runs are those
+/// stopped by budget or schedule end; the metric is total serialized steps.
+///
+/// The schedule is always attached, so failure samples carry their exact
+/// repro.
+pub fn classify(outcome: &ConcOutcome) -> TrialResult {
+    let classified = if !outcome.consistent() {
+        TrialOutcome::Inconsistent
+    } else if !outcome.nontrivial() {
+        TrialOutcome::Trivial
+    } else if !outcome.all_decided() {
+        TrialOutcome::Undecided
+    } else {
+        TrialOutcome::Decided
+    };
+    TrialResult {
+        metric: outcome.total_steps,
+        outcome: classified,
+        flagged: false,
+        schedule: Some(outcome.schedule.clone()),
+    }
+}
+
+/// Runs a controlled stress batch with a custom [`WordCodec`], folding
+/// every trial into jobs-invariant [`SweepStats`].
+pub fn stress_with_codec<P, C>(
+    protocol: &P,
+    inputs: &[Val],
+    codec: &C,
+    cfg: &StressConfig,
+    observer: Option<&SweepObserver>,
+) -> SweepStats
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+    C: WordCodec<P::Reg>,
+{
+    let threads = protocol.processes();
+    TrialSweep::new(cfg.trials)
+        .root_seed(cfg.root_seed)
+        .jobs(cfg.jobs)
+        .max_failure_samples(cfg.max_failure_samples)
+        .run_observed(observer, |trial| {
+            let strategy = cfg.strategy.build(trial.seed, threads, cfg.budget);
+            let outcome = ControlledRun::new(protocol, inputs)
+                .seed(trial.seed)
+                .budget(cfg.budget)
+                .run_with_codec(codec, strategy);
+            classify(&outcome)
+        })
+}
+
+/// [`stress_with_codec`] with the [`Packable`] encoding.
+pub fn stress<P>(
+    protocol: &P,
+    inputs: &[Val],
+    cfg: &StressConfig,
+    observer: Option<&SweepObserver>,
+) -> SweepStats
+where
+    P: Protocol + Sync,
+    P::Reg: Packable + Send + Sync,
+{
+    stress_with_codec(protocol, inputs, &PackCodec, cfg, observer)
+}
+
+/// Re-executes one trial of a stress batch deterministically (same seed
+/// derivation as [`stress`]), with event capture — the exemplar exported by
+/// `cil conc stress --trace-json` and replayed by `cil conc replay`.
+pub fn rerun_trial_with_codec<P, C>(
+    protocol: &P,
+    inputs: &[Val],
+    codec: &C,
+    cfg: &StressConfig,
+    trial_index: u64,
+) -> (u64, ConcOutcome)
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+    C: WordCodec<P::Reg>,
+{
+    let seed = cil_sim::SplitMix64::jump(cfg.root_seed, trial_index).next_u64();
+    let strategy = cfg.strategy.build(seed, protocol.processes(), cfg.budget);
+    let outcome = ControlledRun::new(protocol, inputs)
+        .seed(seed)
+        .budget(cfg.budget)
+        .capture(true)
+        .run_with_codec(codec, strategy);
+    (seed, outcome)
+}

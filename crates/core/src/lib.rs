@@ -60,3 +60,4 @@ pub mod two;
 pub use cil_sim::{Choice, Op, Protocol, Val};
 
 mod packing;
+pub use packing::KRegCodec;

@@ -6,10 +6,12 @@
 //! word — the concrete substance behind the paper's "implementable in
 //! existing technology".
 
+use crate::kvalued::{KReg, KValued};
 use crate::n_unbounded::NReg;
 use crate::three_bounded::{BReg, Hist, RunReg, Tag};
-use cil_registers::Packable;
-use cil_sim::Val;
+use cil_registers::{Packable, RegId};
+use cil_sim::{Protocol, Val, WordCodec};
+use std::marker::PhantomData;
 
 impl Packable for NReg {
     /// Packs `(pref, num)` as `pref_code << 48 | num`. Supports `pref`
@@ -105,6 +107,69 @@ impl Packable for BReg {
     }
 }
 
+/// Per-register word codec for the Theorem 5 composite protocol's
+/// heterogeneous register bank.
+///
+/// [`KReg`] cannot implement [`Packable`] uniformly: which variant a word
+/// decodes to depends on *which register* it came from. The composite's
+/// layout is fixed — all inner-instance registers first, the `n`
+/// candidate-publication registers last — so the codec just needs the
+/// boundary. Candidates encode `None` as `0` and `Some(v)` as `v + 1`
+/// (⊥-is-zero, like every other packing in this module); inner registers
+/// delegate to the inner protocol's [`Packable`] impl.
+#[derive(Debug, Clone, Copy)]
+pub struct KRegCodec<R> {
+    inner_regs: usize,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<R> KRegCodec<R> {
+    /// Builds the codec for a register bank whose first `inner_regs`
+    /// registers belong to inner binary instances (the rest are candidate
+    /// registers).
+    pub fn new(inner_regs: usize) -> Self {
+        KRegCodec {
+            inner_regs,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Builds the codec matching `protocol`'s register layout.
+    pub fn for_protocol<P>(protocol: &KValued<P>) -> Self
+    where
+        P: Protocol<Reg = R>,
+        KValued<P>: Protocol,
+    {
+        let specs = Protocol::registers(protocol).len();
+        KRegCodec::new(specs - Protocol::processes(protocol))
+    }
+}
+
+impl<R: Packable + Send + Sync> WordCodec<KReg<R>> for KRegCodec<R> {
+    fn pack(&self, reg: RegId, value: &KReg<R>) -> u64 {
+        match value {
+            KReg::Inner(inner) => {
+                debug_assert!(reg.0 < self.inner_regs, "inner value in candidate {reg}");
+                inner.pack()
+            }
+            KReg::Cand(cand) => {
+                debug_assert!(reg.0 >= self.inner_regs, "candidate value in inner {reg}");
+                cand.map_or(0, |v| v + 1)
+            }
+        }
+    }
+
+    fn unpack(&self, reg: RegId, word: u64) -> KReg<R> {
+        if reg.0 < self.inner_regs {
+            KReg::Inner(R::unpack(word))
+        } else if word == 0 {
+            KReg::Cand(None)
+        } else {
+            KReg::Cand(Some(word - 1))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +188,40 @@ mod tests {
     #[test]
     fn nreg_bot_packs_to_zero() {
         assert_eq!(NReg::BOT.pack(), 0);
+    }
+
+    #[test]
+    fn kreg_codec_round_trips_both_register_classes() {
+        use crate::two::{TwoProcessor, TwoReg};
+        let p = KValued::new(TwoProcessor::new(), 4);
+        let codec = KRegCodec::for_protocol(&p);
+        let specs = p.registers();
+        let boundary = specs.len() - p.processes();
+        let inner_vals: [TwoReg; 3] = [None, Some(Val::A), Some(Val::B)];
+        for reg in 0..boundary {
+            for v in &inner_vals {
+                let kv = KReg::Inner(*v);
+                assert_eq!(codec.unpack(RegId(reg), codec.pack(RegId(reg), &kv)), kv);
+            }
+        }
+        for reg in boundary..specs.len() {
+            for cand in [None, Some(0), Some(3)] {
+                let kv = KReg::<TwoReg>::Cand(cand);
+                assert_eq!(codec.unpack(RegId(reg), codec.pack(RegId(reg), &kv)), kv);
+            }
+        }
+        // The encoding stays within every register's declared width.
+        for s in &specs {
+            let max = match s.id.0 < boundary {
+                true => inner_vals
+                    .iter()
+                    .map(|v| codec.pack(s.id, &KReg::Inner(*v)))
+                    .max()
+                    .unwrap(),
+                false => codec.pack(s.id, &KReg::<TwoReg>::Cand(Some(3))),
+            };
+            assert!(max <= s.max_word(), "register {} overflows", s.name);
+        }
     }
 
     #[test]

@@ -113,6 +113,16 @@ pub enum RunEvent {
         /// Free-form description.
         detail: String,
     },
+    /// A controlled native scheduler granted a thread its next step
+    /// (emitted by `cil-conc` before the corresponding [`RunEvent::Step`]).
+    Grant {
+        /// Global step index the grant is for (matches the step's index).
+        index: u64,
+        /// Thread (processor) granted the step.
+        pid: usize,
+        /// Number of runnable threads the strategy chose among.
+        runnable: usize,
+    },
 }
 
 impl RunEvent {
@@ -170,6 +180,16 @@ impl RunEvent {
                 .num("index", *index)
                 .str("kind", kind)
                 .str("detail", detail)
+                .finish(),
+            RunEvent::Grant {
+                index,
+                pid,
+                runnable,
+            } => ObjWriter::new()
+                .str("type", "grant")
+                .num("index", *index)
+                .num("pid", *pid as u64)
+                .num("runnable", *runnable as u64)
                 .finish(),
         }
     }
@@ -232,6 +252,11 @@ impl RunEvent {
                 index: num_of("index")?,
                 kind: str_of("kind")?,
                 detail: str_of("detail")?,
+            }),
+            "grant" => Ok(RunEvent::Grant {
+                index: num_of("index")?,
+                pid: num_of("pid")? as usize,
+                runnable: num_of("runnable")? as usize,
             }),
             other => Err(format!("unknown event type '{other}'")),
         }
@@ -335,6 +360,11 @@ mod tests {
                 index: 3,
                 kind: "inconsistent".into(),
                 detail: "values {a, b}".into(),
+            },
+            RunEvent::Grant {
+                index: 4,
+                pid: 1,
+                runnable: 2,
             },
             RunEvent::SpanEnd {
                 name: "run".into(),

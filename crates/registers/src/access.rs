@@ -181,6 +181,19 @@ pub enum AccessError {
     },
     /// Register specs were inconsistent (duplicate or out-of-order ids).
     BadSpec(String),
+    /// A stored word does not fit the register's declared bit width.
+    ///
+    /// Only raised by word-level backends ([`crate::HwRegisterFile`]); the
+    /// typed [`SharedMemory`] stores values, not words, so widths are checked
+    /// statically by `cil-audit` instead.
+    WidthOverflow {
+        /// Register whose width was exceeded.
+        reg: RegId,
+        /// The offending word.
+        word: u64,
+        /// The register's declared width in bits.
+        width_bits: u32,
+    },
 }
 
 impl fmt::Display for AccessError {
@@ -194,6 +207,16 @@ impl fmt::Display for AccessError {
                 write!(f, "{pid} is not in the reader set of {reg}")
             }
             AccessError::BadSpec(msg) => write!(f, "bad register specification: {msg}"),
+            AccessError::WidthOverflow {
+                reg,
+                word,
+                width_bits,
+            } => {
+                write!(
+                    f,
+                    "word {word:#x} does not fit {reg}'s declared width of {width_bits} bits"
+                )
+            }
         }
     }
 }

@@ -90,21 +90,39 @@ impl HwCell {
 /// A bank of hardware register cells with the same access discipline as
 /// [`crate::SharedMemory`], shareable across threads (`&HwRegisterFile` is
 /// all a thread needs).
+///
+/// Cells hold raw words; the typed [`read`](HwRegisterFile::read) /
+/// [`write`](HwRegisterFile::write) pair uses [`Packable`], while the
+/// word-level [`read_word`](HwRegisterFile::read_word) /
+/// [`write_word`](HwRegisterFile::write_word) pair lets callers bring their
+/// own encoding (register types that cannot implement `Packable` uniformly,
+/// e.g. per-register codecs). Every store path enforces the declared
+/// [`RegisterSpec`] bit width — a word that does not fit the register is
+/// rejected with [`AccessError::WidthOverflow`], mirroring the bounded
+/// registers of the paper's model.
 #[derive(Debug)]
-pub struct HwRegisterFile<V: Packable> {
+pub struct HwRegisterFile<V> {
     specs: Vec<RegisterSpec<V>>,
     cells: Vec<HwCell>,
 }
 
-impl<V: Packable> HwRegisterFile<V> {
+impl<V> HwRegisterFile<V> {
     /// Builds the file from register descriptions, packing each initial
-    /// value into its cell.
+    /// value into its cell via `pack`.
+    ///
+    /// Use this constructor for register types without a uniform
+    /// [`Packable`] encoding; otherwise prefer [`new`](HwRegisterFile::new).
     ///
     /// # Errors
     ///
     /// [`AccessError::BadSpec`] under the same conditions as
-    /// [`crate::SharedMemory::new`].
-    pub fn new(specs: Vec<RegisterSpec<V>>) -> Result<Self, AccessError> {
+    /// [`crate::SharedMemory::new`] (id/index mismatch, out-of-range declared
+    /// width), and [`AccessError::WidthOverflow`] if a packed initial value
+    /// does not fit its register's declared width.
+    pub fn with_packer<F>(specs: Vec<RegisterSpec<V>>, pack: F) -> Result<Self, AccessError>
+    where
+        F: Fn(RegId, &V) -> u64,
+    {
         for (i, s) in specs.iter().enumerate() {
             if s.id.0 != i {
                 return Err(AccessError::BadSpec(format!(
@@ -112,8 +130,25 @@ impl<V: Packable> HwRegisterFile<V> {
                     s.name, s.id
                 )));
             }
+            if s.width_bits == 0 || s.width_bits > 64 {
+                return Err(AccessError::BadSpec(format!(
+                    "register '{}' declares width {} (must be 1..=64 bits)",
+                    s.name, s.width_bits
+                )));
+            }
         }
-        let cells = specs.iter().map(|s| HwCell::new(s.init.pack())).collect();
+        let mut cells = Vec::with_capacity(specs.len());
+        for s in &specs {
+            let word = pack(s.id, &s.init);
+            if word > s.max_word() {
+                return Err(AccessError::WidthOverflow {
+                    reg: s.id,
+                    word,
+                    width_bits: s.width_bits,
+                });
+            }
+            cells.push(HwCell::new(word));
+        }
         Ok(HwRegisterFile { specs, cells })
     }
 
@@ -127,12 +162,17 @@ impl<V: Packable> HwRegisterFile<V> {
         self.cells.is_empty()
     }
 
-    /// Atomically reads `reg` on behalf of `pid`.
+    /// The register descriptions, in id order.
+    pub fn specs(&self) -> &[RegisterSpec<V>] {
+        &self.specs
+    }
+
+    /// Atomically loads the raw word of `reg` on behalf of `pid`.
     ///
     /// # Errors
     ///
     /// Same access errors as [`crate::SharedMemory::read`].
-    pub fn read(&self, pid: Pid, reg: RegId) -> Result<V, AccessError> {
+    pub fn read_word(&self, pid: Pid, reg: RegId) -> Result<u64, AccessError> {
         let spec = self
             .specs
             .get(reg.0)
@@ -140,15 +180,18 @@ impl<V: Packable> HwRegisterFile<V> {
         if !spec.readers.allows(pid) {
             return Err(AccessError::NotReader { pid, reg });
         }
-        Ok(V::unpack(self.cells[reg.0].load()))
+        Ok(self.cells[reg.0].load())
     }
 
-    /// Atomically writes `value` into `reg` on behalf of `pid`.
+    /// Atomically stores a raw word into `reg` on behalf of `pid`, enforcing
+    /// the declared bit width.
     ///
     /// # Errors
     ///
-    /// Same access errors as [`crate::SharedMemory::write`].
-    pub fn write(&self, pid: Pid, reg: RegId, value: &V) -> Result<(), AccessError> {
+    /// Same access errors as [`crate::SharedMemory::write`], plus
+    /// [`AccessError::WidthOverflow`] when `word` exceeds the register's
+    /// [`RegisterSpec::max_word`].
+    pub fn write_word(&self, pid: Pid, reg: RegId, word: u64) -> Result<(), AccessError> {
         let spec = self
             .specs
             .get(reg.0)
@@ -160,8 +203,47 @@ impl<V: Packable> HwRegisterFile<V> {
                 owner: spec.writer,
             });
         }
-        self.cells[reg.0].store(value.pack());
+        if word > spec.max_word() {
+            return Err(AccessError::WidthOverflow {
+                reg,
+                word,
+                width_bits: spec.width_bits,
+            });
+        }
+        self.cells[reg.0].store(word);
         Ok(())
+    }
+}
+
+impl<V: Packable> HwRegisterFile<V> {
+    /// Builds the file from register descriptions, packing each initial
+    /// value into its cell.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`with_packer`](HwRegisterFile::with_packer).
+    pub fn new(specs: Vec<RegisterSpec<V>>) -> Result<Self, AccessError> {
+        Self::with_packer(specs, |_, v| v.pack())
+    }
+
+    /// Atomically reads `reg` on behalf of `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Same access errors as [`crate::SharedMemory::read`].
+    pub fn read(&self, pid: Pid, reg: RegId) -> Result<V, AccessError> {
+        self.read_word(pid, reg).map(V::unpack)
+    }
+
+    /// Atomically writes `value` into `reg` on behalf of `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Same access errors as [`crate::SharedMemory::write`], plus
+    /// [`AccessError::WidthOverflow`] when the packed value exceeds the
+    /// declared width.
+    pub fn write(&self, pid: Pid, reg: RegId, value: &V) -> Result<(), AccessError> {
+        self.write_word(pid, reg, value.pack())
     }
 }
 
@@ -205,6 +287,85 @@ mod tests {
         assert!(f.write(Pid(1), RegId(0), &Some(1)).is_err());
         assert_eq!(f.read(Pid(1), RegId(0)).unwrap(), Some(1));
         assert!(f.read(Pid(0), RegId(0)).is_err());
+    }
+
+    #[test]
+    fn store_rejects_out_of_width_words() {
+        let f = HwRegisterFile::<u64>::new(vec![RegisterSpec::new(
+            RegId(0),
+            "r",
+            Pid(0),
+            ReaderSet::All,
+            0u64,
+        )
+        .with_width(3)])
+        .unwrap();
+        // Boundary: the largest in-width word is accepted...
+        assert!(f.write(Pid(0), RegId(0), &7).is_ok());
+        assert_eq!(f.read(Pid(1), RegId(0)).unwrap(), 7);
+        // ...and the first out-of-width word is rejected without clobbering.
+        assert_eq!(
+            f.write(Pid(0), RegId(0), &8),
+            Err(AccessError::WidthOverflow {
+                reg: RegId(0),
+                word: 8,
+                width_bits: 3,
+            })
+        );
+        assert_eq!(f.read(Pid(1), RegId(0)).unwrap(), 7);
+    }
+
+    #[test]
+    fn full_width_register_accepts_max_word() {
+        let f = HwRegisterFile::<u64>::new(vec![RegisterSpec::new(
+            RegId(0),
+            "r",
+            Pid(0),
+            ReaderSet::All,
+            0u64,
+        )])
+        .unwrap();
+        assert!(f.write(Pid(0), RegId(0), &u64::MAX).is_ok());
+        assert_eq!(f.read(Pid(1), RegId(0)).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn constructor_rejects_out_of_width_init() {
+        let mut spec = RegisterSpec::new(RegId(0), "r", Pid(0), ReaderSet::All, 4u64);
+        spec.width_bits = 2;
+        assert_eq!(
+            HwRegisterFile::new(vec![spec]).unwrap_err(),
+            AccessError::WidthOverflow {
+                reg: RegId(0),
+                word: 4,
+                width_bits: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn constructor_rejects_bad_width_spec() {
+        let mut spec = RegisterSpec::new(RegId(0), "r", Pid(0), ReaderSet::All, 0u64);
+        spec.width_bits = 0;
+        assert!(matches!(
+            HwRegisterFile::new(vec![spec]),
+            Err(AccessError::BadSpec(_))
+        ));
+    }
+
+    #[test]
+    fn with_packer_hosts_non_packable_encodings() {
+        // A custom per-register codec: values stored as two's-complement-ish
+        // offset words without a Packable impl for the value type.
+        let f = HwRegisterFile::<i32>::with_packer(
+            vec![RegisterSpec::new(RegId(0), "r", Pid(0), ReaderSet::All, -1i32).with_width(8)],
+            |_, v| (v + 128) as u64,
+        )
+        .unwrap();
+        assert_eq!(f.read_word(Pid(1), RegId(0)).unwrap(), 127);
+        f.write_word(Pid(0), RegId(0), 255).unwrap();
+        assert_eq!(f.read_word(Pid(1), RegId(0)).unwrap(), 255);
+        assert!(f.write_word(Pid(0), RegId(0), 256).is_err());
     }
 
     #[test]

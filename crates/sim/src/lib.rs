@@ -79,5 +79,8 @@ pub use sweep::{
     resolve_jobs, FailureSample, SweepObserver, SweepStats, Trial, TrialOutcome, TrialResult,
     TrialSweep,
 };
-pub use threads::{run_on_threads, ThreadOutcome};
+pub use threads::{
+    run_on_threads, run_on_threads_gated, FreeGate, PackCodec, StepRecord, ThreadGate,
+    ThreadOutcome, WordCodec,
+};
 pub use trace::{parse_schedule, Event, Trace};

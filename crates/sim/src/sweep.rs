@@ -357,11 +357,13 @@ impl SweepStats {
 /// [`SweepStats`] digest — are identical at every `--jobs` setting, and
 /// the stats themselves are byte-identical with and without an observer.
 ///
-/// Registered metrics (under the `sweep.` prefix): `trials`, `decided`,
-/// `undecided`, `inconsistent`, `trivial`, `flagged` counters, and the
-/// `steps` / `decided_by_k` histograms (bucket width 1, so small step
-/// counts — e.g. the paper's Fig. 1 decided-by-k distribution — are
-/// recovered exactly from an exported snapshot).
+/// Registered metrics (under the `sweep.` prefix by default — other
+/// sweep-shaped engines pick their own via
+/// [`with_prefix`](SweepObserver::with_prefix), e.g. `cil-conc` exports
+/// `conc.*`): `trials`, `decided`, `undecided`, `inconsistent`, `trivial`,
+/// `flagged` counters, and the `steps` / `decided_by_k` histograms (bucket
+/// width 1, so small step counts — e.g. the paper's Fig. 1 decided-by-k
+/// distribution — are recovered exactly from an exported snapshot).
 pub struct SweepObserver {
     trials: Arc<Counter>,
     decided: Arc<Counter>,
@@ -381,15 +383,22 @@ const SWEEP_HIST_BUCKETS: usize = 512;
 impl SweepObserver {
     /// An observer registering its metrics in `registry` under `sweep.*`.
     pub fn new(registry: &Registry) -> Self {
+        Self::with_prefix(registry, "sweep")
+    }
+
+    /// An observer registering its metrics in `registry` under
+    /// `<prefix>.*`.
+    pub fn with_prefix(registry: &Registry, prefix: &str) -> Self {
+        let name = |metric: &str| format!("{prefix}.{metric}");
         SweepObserver {
-            trials: registry.counter("sweep.trials"),
-            decided: registry.counter("sweep.decided"),
-            undecided: registry.counter("sweep.undecided"),
-            inconsistent: registry.counter("sweep.inconsistent"),
-            trivial: registry.counter("sweep.trivial"),
-            flagged: registry.counter("sweep.flagged"),
-            steps: registry.histogram("sweep.steps", 1, SWEEP_HIST_BUCKETS),
-            decided_by_k: registry.histogram("sweep.decided_by_k", 1, SWEEP_HIST_BUCKETS),
+            trials: registry.counter(&name("trials")),
+            decided: registry.counter(&name("decided")),
+            undecided: registry.counter(&name("undecided")),
+            inconsistent: registry.counter(&name("inconsistent")),
+            trivial: registry.counter(&name("trivial")),
+            flagged: registry.counter(&name("flagged")),
+            steps: registry.histogram(&name("steps"), 1, SWEEP_HIST_BUCKETS),
+            decided_by_k: registry.histogram(&name("decided_by_k"), 1, SWEEP_HIST_BUCKETS),
             progress: None,
         }
     }

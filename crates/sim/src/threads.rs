@@ -9,21 +9,133 @@
 //! deterministic generator (per-run results are still randomized because the
 //! OS interleaving is).
 //!
+//! Two hooks make the step loop reusable beyond free-running stress:
+//!
+//! * [`WordCodec`] — how a register value maps to the raw `u64` word in its
+//!   cell. [`PackCodec`] covers every [`Packable`] register type; protocols
+//!   whose registers need per-register encodings (e.g. `kvalued`) supply
+//!   their own codec.
+//! * [`ThreadGate`] — a yield point wrapped around every register operation.
+//!   [`FreeGate`] lets the OS scheduler play adversary (the historical
+//!   behavior); `cil-conc` plugs in a controlled scheduler that serializes
+//!   steps under a deterministic strategy and records/replays schedules.
+//!
 //! The protocols never busy-wait on other processors (wait-freedom), so no
-//! thread can be blocked by another — every thread either decides or
-//! exhausts its own step budget.
+//! thread can be blocked by another — every thread either decides, exhausts
+//! its own step budget, or is retired by its gate.
 
 use crate::protocol::{Op, Protocol, Val};
 use crate::rng::{Rng, Xoshiro256StarStar};
-use cil_registers::{HwRegisterFile, Packable, Pid};
+use cil_registers::{HwRegisterFile, Packable, Pid, RegId};
+use std::fmt;
+
+/// Maps register values to and from the raw `u64` words stored in hardware
+/// cells, per register.
+///
+/// The register id is passed so heterogeneous register banks (different
+/// encodings for different registers of one protocol) can be hosted without
+/// a uniform [`Packable`] impl.
+pub trait WordCodec<R>: Sync {
+    /// Encodes `value` for storage in register `reg`.
+    fn pack(&self, reg: RegId, value: &R) -> u64;
+    /// Decodes a word loaded from register `reg`.
+    fn unpack(&self, reg: RegId, word: u64) -> R;
+}
+
+/// The uniform codec for register types that implement [`Packable`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PackCodec;
+
+impl<R: Packable> WordCodec<R> for PackCodec {
+    fn pack(&self, _reg: RegId, value: &R) -> u64 {
+        value.pack()
+    }
+    fn unpack(&self, _reg: RegId, word: u64) -> R {
+        R::unpack(word)
+    }
+}
+
+/// Everything a scheduler needs to know about one completed step, handed to
+/// [`ThreadGate::release`] while the step is still exclusive.
+///
+/// `value` is the step's observable value — the value read for reads, the
+/// value written for writes — borrowed as `dyn Debug` so gates that do not
+/// record traces pay nothing for formatting.
+pub struct StepRecord<'a> {
+    /// Processor that took the step.
+    pub pid: usize,
+    /// Whether the operation was a write (`false` = read).
+    pub write: bool,
+    /// The register operated on.
+    pub reg: RegId,
+    /// The observable value (read result or written value).
+    pub value: &'a dyn fmt::Debug,
+    /// Branch count of the choose-stage coin, if one was flipped.
+    pub choose_branches: Option<usize>,
+    /// Branch count of the transit-stage coin, if one was flipped.
+    pub transit_branches: Option<usize>,
+    /// The processor's decision immediately after the step, if any.
+    pub decision: Option<Val>,
+}
+
+/// A yield point wrapped around every register operation of every thread.
+///
+/// The contract: a thread calls [`acquire`](ThreadGate::acquire) before
+/// sampling its choose coin and touching memory, performs exactly one
+/// register operation plus its transition, then calls
+/// [`release`](ThreadGate::release) with the step's record. When the thread
+/// will take no further steps (decided, exhausted its budget, or denied by
+/// the gate) it calls [`retire`](ThreadGate::retire) exactly once.
+pub trait ThreadGate: Sync {
+    /// Blocks until the thread may take its next step. Returning `false`
+    /// denies the step: the thread must stop and retire.
+    fn acquire(&self, pid: usize) -> bool {
+        let _ = pid;
+        true
+    }
+    /// Reports the step just taken, before any other thread may be granted.
+    fn release(&self, record: StepRecord<'_>) {
+        let _ = record;
+    }
+    /// Reports that the thread will take no further steps.
+    fn retire(&self, pid: usize) {
+        let _ = pid;
+    }
+}
+
+/// The free-running gate: every step is granted immediately, so the OS
+/// scheduler and the hardware play the adversary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FreeGate;
+
+impl ThreadGate for FreeGate {}
+
+/// Retires the thread on drop, so a panicking thread (protocol bug) still
+/// reports itself dead to a controlling gate instead of deadlocking the
+/// other threads that wait on its next yield point.
+struct RetireGuard<'a, G: ThreadGate> {
+    gate: &'a G,
+    pid: usize,
+}
+
+impl<G: ThreadGate> Drop for RetireGuard<'_, G> {
+    fn drop(&mut self) {
+        self.gate.retire(self.pid);
+    }
+}
 
 /// Outcome of a real-thread run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadOutcome {
-    /// Decision of each processor (`None` = step budget exhausted).
+    /// Decision of each processor (`None` = step budget exhausted or
+    /// retired by the gate while undecided).
     pub decisions: Vec<Option<Val>>,
     /// Steps (register operations) each thread performed.
     pub steps: Vec<u64>,
+    /// Coin flips each thread consumed — choose- and transit-stage samples
+    /// with more than one branch — matching the simulator's accounting, so
+    /// native and simulated step/flip statistics are directly comparable.
+    pub flips: Vec<u64>,
 }
 
 impl ThreadOutcome {
@@ -37,7 +149,121 @@ impl ThreadOutcome {
     }
 }
 
-/// Runs `protocol` with the given inputs on real OS threads.
+/// Runs `protocol` with the given inputs on real OS threads, with a
+/// pluggable [`WordCodec`] and [`ThreadGate`].
+///
+/// `max_steps_per_thread` bounds each thread's own work; a controlling gate
+/// may additionally stop threads earlier by denying
+/// [`acquire`](ThreadGate::acquire). Per-thread RNG streams derive from
+/// `seed`, so for a fixed sequence of gate grants the run is fully
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != protocol.processes()`, if the register specs
+/// are rejected by the hardware backend, or if the protocol violates its
+/// declared access structure or register widths at runtime.
+pub fn run_on_threads_gated<P, C, G>(
+    protocol: &P,
+    inputs: &[Val],
+    seed: u64,
+    max_steps_per_thread: u64,
+    codec: &C,
+    gate: &G,
+) -> ThreadOutcome
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+    C: WordCodec<P::Reg>,
+    G: ThreadGate,
+{
+    assert_eq!(
+        inputs.len(),
+        protocol.processes(),
+        "one input per processor"
+    );
+    let n = protocol.processes();
+    let file = HwRegisterFile::with_packer(protocol.registers(), |reg, v| codec.pack(reg, v))
+        .expect("valid register specs");
+    let mut seeder = Xoshiro256StarStar::new(seed);
+    let seeds: Vec<u64> = (0..n).map(|_| seeder.next_u64()).collect();
+
+    let mut decisions = vec![None; n];
+    let mut steps = vec![0u64; n];
+    let mut flips = vec![0u64; n];
+    std::thread::scope(|scope| {
+        let file = &file;
+        let handles: Vec<_> = (0..n)
+            .map(|pid| {
+                let input = inputs[pid];
+                let thread_seed = seeds[pid];
+                scope.spawn(move || {
+                    let _retire = RetireGuard { gate, pid };
+                    let mut rng = Xoshiro256StarStar::new(thread_seed);
+                    let mut state = protocol.init(pid, input);
+                    let mut taken = 0u64;
+                    let mut flipped = 0u64;
+                    while protocol.decision(&state).is_none() && taken < max_steps_per_thread {
+                        if !gate.acquire(pid) {
+                            break;
+                        }
+                        let choice = protocol.choose(pid, &state);
+                        let choose_branches = (!choice.is_det()).then(|| choice.branches().len());
+                        let op = choice.sample(&mut rng).clone();
+                        let read = match &op {
+                            Op::Read(r) => {
+                                let word =
+                                    file.read_word(Pid(pid), *r).expect("read in reader set");
+                                Some(codec.unpack(*r, word))
+                            }
+                            Op::Write(r, v) => {
+                                file.write_word(Pid(pid), *r, codec.pack(*r, v))
+                                    .expect("write own register within declared width");
+                                None
+                            }
+                        };
+                        let transition = protocol.transit(pid, &state, &op, read.as_ref());
+                        let transit_branches =
+                            (!transition.is_det()).then(|| transition.branches().len());
+                        state = transition.sample(&mut rng).clone();
+                        taken += 1;
+                        flipped += choose_branches.is_some() as u64;
+                        flipped += transit_branches.is_some() as u64;
+                        let value: &dyn fmt::Debug = match (&op, &read) {
+                            (Op::Write(_, v), _) => v,
+                            (_, Some(r)) => r,
+                            _ => &"?",
+                        };
+                        gate.release(StepRecord {
+                            pid,
+                            write: op.is_write(),
+                            reg: op.reg(),
+                            value,
+                            choose_branches,
+                            transit_branches,
+                            decision: protocol.decision(&state),
+                        });
+                    }
+                    (protocol.decision(&state), taken, flipped)
+                })
+            })
+            .collect();
+        for (pid, h) in handles.into_iter().enumerate() {
+            let (d, t, f) = h.join().expect("protocol thread panicked");
+            decisions[pid] = d;
+            steps[pid] = t;
+            flips[pid] = f;
+        }
+    });
+    ThreadOutcome {
+        decisions,
+        steps,
+        flips,
+    }
+}
+
+/// Runs `protocol` with the given inputs on real OS threads, free-running
+/// (the OS plays the adversary) over the [`Packable`] encoding.
 ///
 /// `max_steps_per_thread` bounds each thread's work (the randomized
 /// protocols decide in expected O(1) steps, so budgets in the thousands are
@@ -57,54 +283,12 @@ where
     P: Protocol + Sync,
     P::Reg: Packable + Send + Sync,
 {
-    assert_eq!(
-        inputs.len(),
-        protocol.processes(),
-        "one input per processor"
-    );
-    let n = protocol.processes();
-    let file = HwRegisterFile::new(protocol.registers()).expect("valid register specs");
-    let mut seeder = Xoshiro256StarStar::new(seed);
-    let seeds: Vec<u64> = (0..n).map(|_| seeder.next_u64()).collect();
-
-    let mut decisions = vec![None; n];
-    let mut steps = vec![0u64; n];
-    std::thread::scope(|scope| {
-        let file = &file;
-        let handles: Vec<_> = (0..n)
-            .map(|pid| {
-                let input = inputs[pid];
-                let thread_seed = seeds[pid];
-                scope.spawn(move || {
-                    let mut rng = Xoshiro256StarStar::new(thread_seed);
-                    let mut state = protocol.init(pid, input);
-                    let mut taken = 0u64;
-                    while protocol.decision(&state).is_none() && taken < max_steps_per_thread {
-                        let op = protocol.choose(pid, &state).sample(&mut rng).clone();
-                        let read = match &op {
-                            Op::Read(r) => {
-                                Some(file.read(Pid(pid), *r).expect("read in reader set"))
-                            }
-                            Op::Write(r, v) => {
-                                file.write(Pid(pid), *r, v).expect("write own register");
-                                None
-                            }
-                        };
-                        state = protocol
-                            .transit(pid, &state, &op, read.as_ref())
-                            .sample(&mut rng)
-                            .clone();
-                        taken += 1;
-                    }
-                    (protocol.decision(&state), taken)
-                })
-            })
-            .collect();
-        for (pid, h) in handles.into_iter().enumerate() {
-            let (d, t) = h.join().expect("protocol thread panicked");
-            decisions[pid] = d;
-            steps[pid] = t;
-        }
-    });
-    ThreadOutcome { decisions, steps }
+    run_on_threads_gated(
+        protocol,
+        inputs,
+        seed,
+        max_steps_per_thread,
+        &PackCodec,
+        &FreeGate,
+    )
 }

@@ -1,0 +1,120 @@
+//! Cross-validation of the controlled native backend against the
+//! simulator: the native random-walk scheduler and the simulator's
+//! `random` adversary are the same process (uniform over runnable
+//! processors), so the decided-by-`k` decay of Fig. 1 measured on real OS
+//! threads must statistically match the simulated sweep — the empirical
+//! half of the paper's "implementable in existing technology" claim.
+//! Everything is seeded, so these comparisons are deterministic.
+
+use cil_conc::{stress, StrategySpec, StressConfig};
+use cil_core::two::TwoProcessor;
+use cil_sim::{Protocol, RandomScheduler, Runner, SweepStats, TrialResult, TrialSweep, Val};
+
+const TRIALS: u64 = 1500;
+const ROOT_SEED: u64 = 2026;
+
+/// Empirical survival: the fraction of trials whose total step count
+/// exceeds `k` (undecided trials survive every `k`).
+fn survival(stats: &SweepStats, k: u64) -> f64 {
+    let decided_by_k: u64 = stats
+        .decided_by_k
+        .iter()
+        .filter(|(steps, _)| **steps <= k)
+        .map(|(_, count)| *count)
+        .sum();
+    1.0 - decided_by_k as f64 / stats.trials as f64
+}
+
+fn native_stats() -> SweepStats {
+    let cfg = StressConfig {
+        trials: TRIALS,
+        root_seed: ROOT_SEED,
+        budget: 4096,
+        jobs: 0,
+        strategy: StrategySpec::Random,
+        max_failure_samples: 5,
+    };
+    stress(&TwoProcessor::new(), &[Val::A, Val::B], &cfg, None)
+}
+
+fn simulator_stats() -> SweepStats {
+    let p = TwoProcessor::new();
+    let inputs = [Val::A, Val::B];
+    TrialSweep::new(TRIALS)
+        .root_seed(ROOT_SEED)
+        .jobs(0)
+        .run(|trial| {
+            let out = Runner::new(&p, &inputs, RandomScheduler::new(trial.seed))
+                .seed(trial.seed)
+                .max_steps(4096)
+                .run();
+            TrialResult::from_run(&out)
+        })
+}
+
+#[test]
+fn native_decided_by_k_decay_matches_the_simulator_sweep() {
+    let native = native_stats();
+    let sim = simulator_stats();
+
+    assert_eq!(native.violations(), 0, "{:?}", native.failures);
+    assert_eq!(sim.violations(), 0);
+    assert_eq!(native.decided, TRIALS, "every native trial decides");
+    assert_eq!(sim.decided, TRIALS);
+
+    // Identical support floor: the protocol cannot decide earlier on real
+    // threads than in the simulator — the minimum total step count to a
+    // full decision is a property of the protocol, not the backend.
+    assert_eq!(
+        native.decided_by_k.keys().next(),
+        sim.decided_by_k.keys().next(),
+        "native {:?} vs sim {:?}",
+        native.decided_by_k,
+        sim.decided_by_k
+    );
+
+    // Pointwise-close empirical survival curves. The two samples use
+    // different RNG streams, so allow a few standard errors
+    // (sqrt(p·(1−p)/1500) ≤ 0.013).
+    for k in 0..=48 {
+        let n = survival(&native, k);
+        let s = survival(&sim, k);
+        assert!(
+            (n - s).abs() <= 0.05,
+            "k = {k}: native survival {n:.4} vs simulator {s:.4}"
+        );
+    }
+
+    // Close means, and both consistent with the Corollary's worst-case
+    // bound (E[steps of P0] ≤ 10 against the *optimal* adversary; the
+    // uniform adversary must do no better).
+    let nm = native.mean().expect("decided trials exist");
+    let sm = sim.mean().expect("decided trials exist");
+    assert!(
+        (nm - sm).abs() / sm <= 0.10,
+        "mean total steps: native {nm:.3} vs simulator {sm:.3}"
+    );
+    assert!(nm < 20.0, "uniform adversary mean {nm:.3} out of range");
+}
+
+#[test]
+fn native_cross_validation_is_jobs_invariant() {
+    let p = TwoProcessor::new();
+    let cfg = |jobs| StressConfig {
+        trials: 300,
+        root_seed: 7,
+        budget: 2048,
+        jobs,
+        strategy: StrategySpec::Pct { depth: 2 },
+        max_failure_samples: 5,
+    };
+    let serial = stress(&p, &[Val::A, Val::B], &cfg(1), None);
+    let parallel = stress(&p, &[Val::A, Val::B], &cfg(4), None);
+    assert_eq!(serial.digest(), parallel.digest());
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.violations(), 0);
+    // PCT schedules are adversarial but Fig. 1 is wait-free against *any*
+    // adversary: every trial must still decide within the budget.
+    assert_eq!(serial.decided, 300, "{serial:?}");
+    let _ = p.name();
+}

@@ -5,7 +5,9 @@ use cil_core::n_unbounded::NReg;
 use cil_core::n_unbounded_1w1r::NUnbounded1W1R;
 use cil_core::three_bounded::register_alphabet;
 use cil_registers::linearize::{is_linearizable, HistOp};
-use cil_registers::{Packable, Pid, ReaderSet, RegId, RegisterSpec, SharedMemory};
+use cil_registers::{
+    AccessError, HwRegisterFile, Packable, Pid, ReaderSet, RegId, RegisterSpec, SharedMemory,
+};
 use cil_sim::{
     Op, Protocol, RandomScheduler, Runner, Trial, TrialOutcome, TrialResult, TrialSweep, Val,
 };
@@ -134,6 +136,43 @@ proptest! {
         let word = if width == 64 { raw } else { raw & spec.max_word() };
         prop_assert!(word <= spec.max_word());
         prop_assert_eq!(u64::unpack(word.pack()), word);
+    }
+
+    #[test]
+    fn hw_register_file_enforces_declared_widths(width in 1u32..=63, raw in any::<u64>()) {
+        // The hardware backend must enforce the same width bounds the
+        // symbolic SharedMemory's specs declare: any in-width word stores
+        // and round-trips; the first word past the boundary is rejected
+        // without clobbering the register.
+        let spec = RegisterSpec::new(RegId(0), "r", Pid(0), ReaderSet::All, 0u64)
+            .with_width(width);
+        let max = spec.max_word();
+        let file = HwRegisterFile::<u64>::new(vec![spec]).unwrap();
+        let fit = raw & max;
+        file.write_word(Pid(0), RegId(0), fit).unwrap();
+        prop_assert_eq!(file.read_word(Pid(0), RegId(0)).unwrap(), fit);
+        match file.write_word(Pid(0), RegId(0), max + 1) {
+            Err(AccessError::WidthOverflow { word, width_bits, .. }) => {
+                prop_assert_eq!(word, max + 1);
+                prop_assert_eq!(width_bits, width);
+            }
+            other => prop_assert!(false, "expected WidthOverflow, got {:?}", other),
+        }
+        // The rejected store must not be visible.
+        prop_assert_eq!(file.read_word(Pid(0), RegId(0)).unwrap(), fit);
+    }
+
+    #[test]
+    fn hw_register_file_round_trips_packable_values_at_width_boundaries(v in proptest::option::of(0u64..3)) {
+        // Option<Val> in the 2-bit register Fig. 1 declares: every domain
+        // value — including the boundary encodings 0 and max_word() — packs
+        // within width and round-trips through the hardware cells.
+        let spec = RegisterSpec::new(RegId(0), "r", Pid(0), ReaderSet::All, None::<Val>)
+            .with_width(2);
+        let file = HwRegisterFile::new(vec![spec]).unwrap();
+        let value = v.map(Val);
+        file.write(Pid(0), RegId(0), &value).unwrap();
+        prop_assert_eq!(file.read(Pid(0), RegId(0)).unwrap(), value);
     }
 }
 
