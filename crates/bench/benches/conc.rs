@@ -10,8 +10,8 @@
 //! run without `--test`.
 
 use cil_conc::{
-    classify, ddmin_schedule, rerun_trial_with_codec, stress, ControlledRun, Pct, RacyTwo,
-    RandomWalk, ReplaySchedule, StrategySpec, StressConfig,
+    classify, ddmin_schedule, explore, rerun_trial_with_codec, stress, ControlledRun, DporConfig,
+    Pct, RacyTwo, RandomWalk, ReplaySchedule, StrategySpec, StressConfig,
 };
 use cil_core::two::TwoProcessor;
 use cil_obs::json::ObjWriter;
@@ -109,8 +109,79 @@ fn check_detection() -> Smoke {
     }
 }
 
+/// Counts from the exhaustive DPOR experiment.
+struct DporSmoke {
+    depth_bound: u64,
+    naive_executions: u64,
+    sleep_executions: u64,
+    reduction_ratio: f64,
+    digest: u64,
+    hunt_runs: u64,
+    minimal_repro_len: usize,
+    certificate: String,
+}
+
+/// The exhaustive half of the report: the planted mutant must fall to the
+/// bounded-preemption hunt on every run with the golden 12-step repro, and
+/// the clean two-processor protocol must certify exhaustively at the CI
+/// depth bound with sleep sets pruning strictly below the naive count.
+fn check_dpor() -> DporSmoke {
+    let mutant = RacyTwo::default();
+    let inputs = [Val::A, Val::B];
+    let hunt = explore(&mutant, &inputs, &DporConfig::default(), None);
+    let hunt_report = hunt.hunt.as_ref().expect("hunt prelude ran");
+    assert!(hunt_report.found, "hunt must catch the planted mutant");
+    let sample = hunt.violation_samples.first().expect("violation sample");
+    let still_fails = |candidate: &[usize]| {
+        let out = ControlledRun::new(&mutant, &inputs)
+            .seed(0)
+            .budget(hunt.depth_bound)
+            .run(Box::new(ReplaySchedule::best_effort(candidate.to_vec())));
+        classify(&out).outcome == TrialOutcome::Inconsistent
+    };
+    let minimal = ddmin_schedule(&sample.schedule, still_fails);
+    assert_eq!(minimal, vec![1usize; 12], "golden solo-sprint repro");
+
+    let p = TwoProcessor::new();
+    let depth = 10;
+    let no_hunt = DporConfig {
+        depth_bound: depth,
+        hunt_preemptions: None,
+        ..DporConfig::default()
+    };
+    let sleep = explore(&p, &inputs, &no_hunt, None);
+    let naive = explore(
+        &p,
+        &inputs,
+        &DporConfig {
+            naive: true,
+            ..no_hunt
+        },
+        None,
+    );
+    assert!(sleep.certified() && naive.certified());
+    assert!(
+        sleep.executions < naive.executions,
+        "sleep sets must prune: {} vs {}",
+        sleep.executions,
+        naive.executions
+    );
+    assert_eq!(sleep.decision_vectors, naive.decision_vectors);
+    assert_eq!(sleep.terminal_configs, naive.terminal_configs);
+    DporSmoke {
+        depth_bound: depth,
+        naive_executions: naive.executions,
+        sleep_executions: sleep.executions,
+        reduction_ratio: sleep.executions as f64 / naive.executions as f64,
+        digest: sleep.digest,
+        hunt_runs: hunt_report.runs,
+        minimal_repro_len: minimal.len(),
+        certificate: format!("two: exhaustive to depth {depth}, 0 violations"),
+    }
+}
+
 /// Serializes the experiment counts to `BENCH_conc.json` at the repo root.
-fn write_report(s: &Smoke) {
+fn write_report(s: &Smoke, d: &DporSmoke) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_conc.json");
     let report = ObjWriter::new()
         .str("bench", "conc")
@@ -125,6 +196,14 @@ fn write_report(s: &Smoke) {
             "two_proc_mean_steps",
             &format!("{:.4}", s.native_mean_steps),
         )
+        .num("dpor_depth_bound", d.depth_bound)
+        .num("dpor_naive_executions", d.naive_executions)
+        .num("dpor_sleep_executions", d.sleep_executions)
+        .raw("dpor_reduction_ratio", &format!("{:.4}", d.reduction_ratio))
+        .str("dpor_digest", &format!("{:016x}", d.digest))
+        .num("dpor_hunt_runs", d.hunt_runs)
+        .num("dpor_minimal_repro_len", d.minimal_repro_len as u64)
+        .str("dpor_certificate", &d.certificate)
         .finish();
     std::fs::write(path, format!("{report}\n")).expect("write BENCH_conc.json");
     println!("wrote {path}");
@@ -179,11 +258,23 @@ fn bench_conc(c: &mut Criterion) {
             black_box(minimal.len())
         })
     });
+    c.bench_function("conc/dpor_explore_two_sleep_d10", |b| {
+        let cfg = DporConfig {
+            depth_bound: 10,
+            hunt_preemptions: None,
+            ..DporConfig::default()
+        };
+        b.iter(|| black_box(explore(&p, &inputs, &cfg, None).executions))
+    });
+    c.bench_function("conc/dpor_hunt_mutant", |b| {
+        b.iter(|| black_box(explore(&mutant, &inputs, &DporConfig::default(), None).violations))
+    });
 }
 
 fn main() {
     let smoke = check_detection();
-    write_report(&smoke);
+    let dpor = check_dpor();
+    write_report(&smoke, &dpor);
     // `cargo bench ... -- --test` smoke mode: detection checks and the
     // JSON report only; skip the timed loops.
     if std::env::args().any(|a| a == "--test") {

@@ -18,6 +18,8 @@
 //! cil conc      stress --protocol two --inputs a,b --strategy pct --trials 256
 //! cil conc      replay out.jsonl [--audit]
 //! cil conc      shrink --protocol mutant:racy --inputs a,b --trial 3
+//! cil conc      explore mutant:racy --inputs a,b [--depth-bound 24] [--jobs 4]
+//!               [--naive] [--no-hunt] [--cross-check] [--progress]
 //! cil help
 //! ```
 //!
@@ -87,6 +89,9 @@ pub fn dispatch_full<I: IntoIterator<Item = String>>(tokens: I) -> Result<String
             "stats",
             "audit",
             "compat-dense",
+            "naive",
+            "no-hunt",
+            "cross-check",
         ],
     )
     .map_err(CliFailure::Usage)?;

@@ -160,6 +160,11 @@ impl Coordinator {
 }
 
 impl ThreadGate for Coordinator {
+    fn coin_branch(&self, pid: usize, transit: bool, branches: usize) -> Option<usize> {
+        let mut st = self.lock();
+        st.strategy.coin(pid, transit, branches)
+    }
+
     fn acquire(&self, pid: usize) -> bool {
         let mut st = self.lock();
         if st.halt.is_some() {
@@ -182,6 +187,7 @@ impl ThreadGate for Coordinator {
         let mut st = self.lock();
         debug_assert_eq!(st.status[record.pid], Status::Granted);
         st.status[record.pid] = Status::Running;
+        st.strategy.observe(record.pid, record.reg.0, record.write);
         let index = st.step;
         if let Some(events) = st.events.as_mut() {
             let pid = record.pid;

@@ -1,0 +1,113 @@
+//! Register-access independence — the commutativity relation that powers
+//! the DPOR explorer's sleep-set pruning.
+//!
+//! In the paper's model every step is exactly one operation on one shared
+//! atomic register, so the independence relation is unusually crisp: two
+//! steps *commute* (executing them in either order reaches the same
+//! configuration) iff they touch **different registers**, or both only
+//! **read**. Everything the partial-order reduction in [`crate::dpor`]
+//! prunes is justified by this relation alone — a step put to sleep stays
+//! asleep exactly until some dependent access executes, because until then
+//! swapping it past the executed steps changes nothing observable.
+
+/// One step's register access: which register, and whether it wrote.
+///
+/// This is the *entire* footprint of a step in the paper's model (one
+/// operation on one single-writer register per step), which is what makes
+/// the independence check exact rather than conservative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Register operated on (its `RegId` index).
+    pub reg: usize,
+    /// `true` for a write, `false` for a read.
+    pub write: bool,
+}
+
+impl Access {
+    /// Whether two accesses are *dependent* (do not commute): same
+    /// register, and at least one of them writes.
+    pub fn dependent(self, other: Access) -> bool {
+        self.reg == other.reg && (self.write || other.write)
+    }
+}
+
+/// A sleeping thread's possible first-step accesses: the union over the
+/// coin branches explored at the node where it was put to sleep.
+///
+/// Waking is conservative — a sleeping thread wakes as soon as an executed
+/// access is dependent with *any* of its possible first accesses — so the
+/// reduction stays sound for protocols whose choose-stage coin picks
+/// between operations on different registers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessSet(Vec<Access>);
+
+impl AccessSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        AccessSet(Vec::new())
+    }
+
+    /// Adds an access (dedup; the sets stay tiny — one entry per choose
+    /// branch).
+    pub fn insert(&mut self, access: Access) {
+        if !self.0.contains(&access) {
+            self.0.push(access);
+        }
+    }
+
+    /// Whether `access` is dependent with any member.
+    pub fn wakes_on(&self, access: Access) -> bool {
+        self.0.iter().any(|a| a.dependent(access))
+    }
+
+    /// The accesses, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Access> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Whether the set is empty (a thread slept before its access was ever
+    /// observed — treated as waking on anything, conservatively).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(reg: usize) -> Access {
+        Access { reg, write: false }
+    }
+    fn w(reg: usize) -> Access {
+        Access { reg, write: true }
+    }
+
+    #[test]
+    fn reads_of_the_same_register_commute() {
+        assert!(!r(0).dependent(r(0)));
+        assert!(!r(0).dependent(r(1)));
+    }
+
+    #[test]
+    fn writes_conflict_only_on_the_same_register() {
+        assert!(w(0).dependent(r(0)));
+        assert!(r(0).dependent(w(0)));
+        assert!(w(0).dependent(w(0)));
+        assert!(!w(0).dependent(r(1)));
+        assert!(!w(0).dependent(w(1)));
+    }
+
+    #[test]
+    fn access_set_wakes_on_any_dependent_member() {
+        let mut s = AccessSet::new();
+        s.insert(r(1));
+        s.insert(w(2));
+        assert!(!s.wakes_on(r(1)), "read-read commutes");
+        assert!(s.wakes_on(w(1)), "write hits the read member");
+        assert!(s.wakes_on(r(2)), "read hits the write member");
+        assert!(!s.wakes_on(r(0)));
+        s.insert(r(1));
+        assert_eq!(s.iter().count(), 2, "insert dedups");
+    }
+}

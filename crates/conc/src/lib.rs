@@ -28,13 +28,22 @@
 //!   1-minimal repro, re-validated via best-effort replay.
 //! * **[`RacyTwo`]** — a planted interleaving-sensitive mutant calibrating
 //!   the strategies' bug-finding power.
+//! * **[`explore`]** — stateless DPOR: *exhaustive* enumeration of every
+//!   interleaving and coin outcome up to a depth bound, with sleep-set
+//!   partial-order reduction keyed on register-access independence
+//!   ([`Access`]), a bounded-preemption hunt prelude, and a partitioned
+//!   parallel mode whose results are byte-identical at any `--jobs` —
+//!   cross-validated config-for-config against the simulator's
+//!   configuration graph ([`cross_validate`]).
 //!
-//! The CLI surface is `cil conc stress|replay|shrink`.
+//! The CLI surface is `cil conc stress|replay|shrink|explore`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod coordinator;
+mod dpor;
+mod indep;
 mod mutant;
 mod run;
 mod shrink;
@@ -42,6 +51,11 @@ mod strategy;
 mod stress;
 
 pub use coordinator::{ConcHalt, Coordinator};
+pub use dpor::{
+    cross_validate, explore, explore_with_codec, CrossCheck, DporConfig, DporReport, DporViolation,
+    HuntReport, TerminalConfig,
+};
+pub use indep::{Access, AccessSet};
 pub use mutant::{RacyState, RacyTwo};
 pub use run::{ConcOutcome, ControlledRun};
 pub use shrink::ddmin_schedule;

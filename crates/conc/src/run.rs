@@ -91,6 +91,7 @@ where
             decisions: out.decisions,
             steps: out.steps,
             flips: out.flips,
+            reg_words: out.reg_words,
             total_steps: schedule.len() as u64,
             halt,
             schedule,
@@ -121,6 +122,10 @@ pub struct ConcOutcome {
     pub steps: Vec<u64>,
     /// Coin flips each thread consumed.
     pub flips: Vec<u64>,
+    /// Final raw word of each register (spec order) — the terminal
+    /// configuration's shared-memory half, in the run's [`WordCodec`]
+    /// encoding.
+    pub reg_words: Vec<u64>,
     /// Total serialized steps (= `schedule.len()`).
     pub total_steps: u64,
     /// Why the run stopped.

@@ -18,6 +18,27 @@ pub trait Strategy: Send {
     /// step at global index `step`. Returning `None` aborts the run (used
     /// by strict replay on divergence).
     fn next(&mut self, runnable: &[usize], step: u64) -> Option<usize>;
+
+    /// Forces the outcome of the granted thread's coin flip (`branches`
+    /// weighted alternatives; `transit` distinguishes the transit-stage coin
+    /// from the choose-stage one). Called via
+    /// [`cil_sim::ThreadGate::coin_branch`] while the step is exclusive,
+    /// after [`next`](Strategy::next) granted it. `None` (the default)
+    /// leaves the flip to the thread's own deterministic RNG stream; the
+    /// DPOR explorer overrides this to enumerate every coin outcome as an
+    /// explicit branch.
+    fn coin(&mut self, pid: usize, transit: bool, branches: usize) -> Option<usize> {
+        let _ = (pid, transit, branches);
+        None
+    }
+
+    /// Observes the completed step's register access (`reg`, `write`),
+    /// forwarded by the coordinator before any other thread is granted.
+    /// Default: ignored. The DPOR explorer uses this to learn access sets
+    /// for its independence-based sleep-set pruning.
+    fn observe(&mut self, pid: usize, reg: usize, write: bool) {
+        let _ = (pid, reg, write);
+    }
 }
 
 /// The seeded random walk: every scheduling point picks uniformly among the

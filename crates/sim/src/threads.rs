@@ -93,6 +93,20 @@ pub trait ThreadGate: Sync {
         let _ = pid;
         true
     }
+    /// Forces the outcome of a probabilistic branch with `branches` weighted
+    /// alternatives (`transit` distinguishes the transit-stage coin from the
+    /// choose-stage coin). Called between `acquire` and `release`, while the
+    /// step is exclusive. Returning `Some(i)` makes the thread take branch
+    /// `i` of [`crate::Choice::branches`]; `None` (the default) samples from
+    /// the thread's own deterministic RNG stream — the historical behavior.
+    ///
+    /// This is the hook that lets a systematic explorer (`cil-conc`'s DPOR
+    /// module) turn every coin flip into an explicit, enumerable branch of
+    /// the schedule tree instead of a sampled one.
+    fn coin_branch(&self, pid: usize, transit: bool, branches: usize) -> Option<usize> {
+        let _ = (pid, transit, branches);
+        None
+    }
     /// Reports the step just taken, before any other thread may be granted.
     fn release(&self, record: StepRecord<'_>) {
         let _ = record;
@@ -136,6 +150,11 @@ pub struct ThreadOutcome {
     /// with more than one branch — matching the simulator's accounting, so
     /// native and simulated step/flip statistics are directly comparable.
     pub flips: Vec<u64>,
+    /// Final raw word of every register, in spec order, read after all
+    /// threads joined. Together with `decisions` this is the run's terminal
+    /// configuration, directly comparable (through the same [`WordCodec`])
+    /// with the simulator's `Config` registers.
+    pub reg_words: Vec<u64>,
 }
 
 impl ThreadOutcome {
@@ -209,7 +228,18 @@ where
                         }
                         let choice = protocol.choose(pid, &state);
                         let choose_branches = (!choice.is_det()).then(|| choice.branches().len());
-                        let op = choice.sample(&mut rng).clone();
+                        let op =
+                            match choose_branches.and_then(|b| gate.coin_branch(pid, false, b)) {
+                                Some(i) => {
+                                    &choice
+                                        .branches()
+                                        .get(i)
+                                        .expect("forced choose branch within range")
+                                        .1
+                                }
+                                None => choice.sample(&mut rng),
+                            }
+                            .clone();
                         let read = match &op {
                             Op::Read(r) => {
                                 let word =
@@ -225,7 +255,18 @@ where
                         let transition = protocol.transit(pid, &state, &op, read.as_ref());
                         let transit_branches =
                             (!transition.is_det()).then(|| transition.branches().len());
-                        state = transition.sample(&mut rng).clone();
+                        state = match transit_branches.and_then(|b| gate.coin_branch(pid, true, b))
+                        {
+                            Some(i) => {
+                                &transition
+                                    .branches()
+                                    .get(i)
+                                    .expect("forced transit branch within range")
+                                    .1
+                            }
+                            None => transition.sample(&mut rng),
+                        }
+                        .clone();
                         taken += 1;
                         flipped += choose_branches.is_some() as u64;
                         flipped += transit_branches.is_some() as u64;
@@ -255,10 +296,23 @@ where
             flips[pid] = f;
         }
     });
+    // Terminal register snapshot: every cell read through a permitted
+    // reader (the register file enforces reader sets even after the run).
+    let reg_words = file
+        .specs()
+        .iter()
+        .map(|spec| {
+            (0..n)
+                .find(|&p| spec.readers.allows(Pid(p)))
+                .and_then(|p| file.read_word(Pid(p), spec.id).ok())
+                .unwrap_or_else(|| codec.pack(spec.id, &spec.init))
+        })
+        .collect();
     ThreadOutcome {
         decisions,
         steps,
         flips,
+        reg_words,
     }
 }
 
