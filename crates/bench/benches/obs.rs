@@ -1,97 +1,203 @@
-//! Criterion benches for the observability layer (`cil-obs`): the cost of
-//! instrumentation when it is attached, and — the number that matters —
-//! when it is not. The executor's event hook and the sweep's observer hook
-//! are `Option`s checked once per step/trial, so the disabled cases here
-//! must sit within noise of the baselines; the acceptance bar for the
-//! `cil-obs` PR is a disabled-instrumentation sweep within 3% of
-//! pre-instrumentation wall time.
+//! Benches for the observability layer (`cil-obs`): the cost of the
+//! timing telemetry when it is attached, and — the number that matters —
+//! when it is not.
+//!
+//! Hand-written harness (not `criterion_group!`): every invocation —
+//! including `cargo bench -p cil-bench --bench obs -- --test`, the CI
+//! smoke mode — runs the ablation sweep three ways (no instrumentation,
+//! disabled spans, full `--timings` telemetry), checks the log-histogram
+//! quantile estimator against exact nearest-rank quantiles, and writes the
+//! overhead ratios to `BENCH_obs.json` at the repository root. The
+//! disabled-span run must stay within noise of the baseline (asserted at a
+//! generous 15% to survive loaded CI runners); the enabled ratio is
+//! reported for the <5% acceptance tracking. Timed micro-loops only run
+//! without `--test`.
 
-use cil_core::two::TwoProcessor;
-use cil_obs::{EventSink, NullSink, ProgressMeter, Registry, RunEvent};
+use cil_core::n_unbounded::NUnbounded;
+use cil_obs::json::ObjWriter;
+use cil_obs::{LogHistogram, Registry, SpanTimer};
 use cil_sim::{RandomScheduler, Runner, SweepObserver, TrialResult, TrialSweep, Val};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use criterion::{black_box, Criterion};
+use std::time::Instant;
 
-/// One full consensus run: no instrumentation vs a [`NullSink`] event
-/// stream. The delta is the entire cost of the per-step event formatting
-/// (events are still constructed for a `NullSink`, so this bounds the
-/// *enabled* overhead; the *disabled* overhead is the baseline itself).
-fn bench_runner_events(c: &mut Criterion) {
-    let p = TwoProcessor::new();
-    let mut g = c.benchmark_group("obs/runner");
-    let mut seed = 0u64;
-    g.bench_function("baseline_no_sink", |b| {
-        b.iter(|| {
-            seed += 1;
-            let out = Runner::new(&p, &[Val::A, Val::B], RandomScheduler::new(seed))
-                .seed(seed)
-                .run();
-            black_box(out.total_steps)
-        })
-    });
-    g.bench_function("null_sink", |b| {
-        b.iter(|| {
-            seed += 1;
-            let mut sink = NullSink;
-            let out = Runner::new(&p, &[Val::A, Val::B], RandomScheduler::new(seed))
-                .seed(seed)
-                .events(&mut sink)
-                .run();
-            black_box(out.total_steps)
-        })
-    });
-    g.finish();
+/// Minimum-of-reps wall time of one closure, in nanoseconds. The minimum
+/// filters scheduler noise far better than the mean on shared runners.
+fn min_ns<F: FnMut()>(reps: usize, mut f: F) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let started = Instant::now();
+        f();
+        best = best.min(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    best
 }
 
-/// A small sweep: plain `run` vs `run_observed(None)` (must be identical —
-/// the None path is what every un-instrumented caller now pays) vs a full
-/// observer with metrics and a quiet progress meter.
-fn bench_sweep_observer(c: &mut Criterion) {
-    const TRIALS: u64 = 2_000;
-    let p = TwoProcessor::new();
-    let trial_fn = |trial: cil_sim::Trial| {
-        let out = Runner::new(&p, &[Val::A, Val::B], RandomScheduler::new(trial.seed))
-            .seed(trial.seed)
-            .run();
-        TrialResult::from_run(&out).metric(out.total_steps)
-    };
-    let mut g = c.benchmark_group("obs/sweep");
-    g.bench_function("baseline_run", |b| {
-        b.iter(|| black_box(TrialSweep::new(TRIALS).root_seed(7).jobs(1).run(trial_fn)))
-    });
-    g.bench_function("run_observed_none", |b| {
-        b.iter(|| {
-            black_box(
-                TrialSweep::new(TRIALS)
-                    .root_seed(7)
-                    .jobs(1)
-                    .run_observed(None, trial_fn),
-            )
-        })
-    });
-    g.bench_function("run_observed_metrics_and_progress", |b| {
-        b.iter(|| {
-            let registry = Registry::new();
-            let observer = SweepObserver::new(&registry)
-                .with_progress(ProgressMeter::new("bench", Some(TRIALS)).quiet());
-            let stats = TrialSweep::new(TRIALS)
-                .root_seed(7)
-                .jobs(1)
-                .run_observed(Some(&observer), trial_fn);
-            black_box((stats, registry.snapshot()))
-        })
-    });
-    g.finish();
+/// One ablation sweep: `trials` eight-processor consensus runs, serial,
+/// with the given observer (None = the un-instrumented fast path). The
+/// 8-processor protocol gives a realistically sized trial (tens of µs) so
+/// the per-trial telemetry cost is measured against real work, not an
+/// empty loop.
+fn sweep(trials: u64, observer: Option<&SweepObserver>) -> u64 {
+    let p = NUnbounded::new(8);
+    let inputs: Vec<Val> = (0..8).map(|i| Val((i % 2) as u64)).collect();
+    let stats = TrialSweep::new(trials)
+        .root_seed(7)
+        .jobs(1)
+        .run_observed(observer, |trial| {
+            let out = Runner::new(&p, &inputs, RandomScheduler::new(trial.seed))
+                .seed(trial.seed)
+                .max_steps(10_000_000)
+                .run();
+            TrialResult::from_run(&out).metric(out.total_steps)
+        });
+    stats.decided
 }
 
-/// Raw metric update costs: the atomics a fully-instrumented hot loop pays
-/// per trial.
-fn bench_metric_updates(c: &mut Criterion) {
+/// Measured overhead of the telemetry layer on the ablation sweep.
+struct Overhead {
+    trials: u64,
+    reps: usize,
+    baseline_ns: u64,
+    disabled_ns: u64,
+    enabled_ns: u64,
+}
+
+impl Overhead {
+    fn disabled_ratio(&self) -> f64 {
+        self.disabled_ns as f64 / self.baseline_ns as f64
+    }
+
+    fn enabled_ratio(&self) -> f64 {
+        self.enabled_ns as f64 / self.baseline_ns as f64
+    }
+}
+
+/// Runs the three-way ablation: baseline, disabled spans (the zero-cost
+/// claim), and full `--timings` telemetry (trial log-histogram + span
+/// tree).
+fn measure_overhead(trials: u64, reps: usize) -> Overhead {
+    let baseline_ns = min_ns(reps, || {
+        black_box(sweep(trials, None));
+    });
+    // Disabled spans: the exact code shape `--timings`-aware callers have,
+    // with the timer off — enter/exit must compile down to a no-op check.
+    let disabled_ns = min_ns(reps, || {
+        let timer = SpanTimer::disabled();
+        let _root = timer.enter("sweep");
+        black_box(sweep(trials, None));
+    });
+    let enabled_ns = min_ns(reps, || {
+        let registry = Registry::new();
+        let observer = SweepObserver::new(&registry).with_timing(&registry, "sweep");
+        let timer = SpanTimer::monotonic();
+        {
+            let _root = timer.enter("sweep");
+            black_box(sweep(trials, Some(&observer)));
+        }
+        registry.merge_spans(&timer.finish());
+        black_box(registry.snapshot());
+    });
+    Overhead {
+        trials,
+        reps,
+        baseline_ns,
+        disabled_ns,
+        enabled_ns,
+    }
+}
+
+/// One quantile-accuracy row: the estimator's bounds vs the exact
+/// nearest-rank quantile of the observed stream.
+struct QuantileRow {
+    q: f64,
+    exact: u64,
+    lo: u64,
+    hi: u64,
+    mid: u64,
+    err: u64,
+}
+
+/// Streams a deterministic heavy-tailed sequence (`i²`) through a
+/// `sub_bits = 5` log-histogram and checks every estimated quantile bucket
+/// contains the exact nearest-rank quantile, with the documented ≤ 2⁻⁵
+/// relative bucket width.
+fn check_quantiles() -> Vec<QuantileRow> {
+    const N: u64 = 20_000;
+    let hist = LogHistogram::new(5);
+    let mut values: Vec<u64> = (1..=N).map(|i| i * i).collect();
+    for &v in &values {
+        hist.observe(v);
+    }
+    values.sort_unstable();
+    let snap = hist.snapshot();
+    let mut rows = Vec::new();
+    for q in [0.50, 0.90, 0.99, 0.999] {
+        let rank = ((q * N as f64).ceil() as usize).clamp(1, N as usize);
+        let exact = values[rank - 1];
+        let b = snap.quantile(q).expect("non-empty histogram");
+        assert!(
+            b.lo <= exact && exact < b.hi,
+            "p{q}: exact {exact} outside estimated bucket [{}, {})",
+            b.lo,
+            b.hi
+        );
+        let rel = (b.hi - b.lo) as f64 / b.lo.max(1) as f64;
+        assert!(
+            rel <= 1.0 / 32.0 + 1e-9,
+            "p{q}: bucket relative width {rel:.5} exceeds 2^-5"
+        );
+        rows.push(QuantileRow {
+            q,
+            exact,
+            lo: b.lo,
+            hi: b.hi,
+            mid: b.mid(),
+            err: b.err(),
+        });
+    }
+    rows
+}
+
+/// Serializes the ablation and accuracy results to `BENCH_obs.json`.
+fn write_report(o: &Overhead, quantiles: &[QuantileRow]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    let mut rows = String::from("[");
+    for (i, r) in quantiles.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        let obj = ObjWriter::new()
+            .raw("q", &format!("{}", r.q))
+            .num("exact", r.exact)
+            .num("lo", r.lo)
+            .num("hi", r.hi)
+            .num("mid", r.mid)
+            .num("err", r.err)
+            .finish();
+        rows.push_str(&obj);
+    }
+    rows.push(']');
+    let report = ObjWriter::new()
+        .str("bench", "obs")
+        .num("trials", o.trials)
+        .num("reps", o.reps as u64)
+        .num("baseline_ns", o.baseline_ns)
+        .num("disabled_spans_ns", o.disabled_ns)
+        .num("enabled_telemetry_ns", o.enabled_ns)
+        .raw("disabled_overhead", &format!("{:.4}", o.disabled_ratio()))
+        .raw("enabled_overhead", &format!("{:.4}", o.enabled_ratio()))
+        .raw("quantiles", &rows)
+        .finish();
+    std::fs::write(path, format!("{report}\n")).expect("write BENCH_obs.json");
+    println!("wrote {path}");
+}
+
+/// Raw telemetry-primitive costs, timed loops (bench mode only).
+fn bench_primitives(c: &mut Criterion) {
     let registry = Registry::new();
     let counter = registry.counter("bench.counter");
-    let hist = registry.histogram("bench.hist", 1, 512);
-    let mut g = c.benchmark_group("obs/metrics");
-    g.bench_function("counter_inc_x1000", |b| {
+    let log_hist = registry.log_histogram("bench.log_hist", 5);
+    c.bench_function("obs/counter_inc_x1000", |b| {
         b.iter(|| {
             for _ in 0..1000 {
                 counter.inc();
@@ -99,44 +205,61 @@ fn bench_metric_updates(c: &mut Criterion) {
             black_box(counter.get())
         })
     });
-    g.bench_function("histogram_observe_x1000", |b| {
+    c.bench_function("obs/log_histogram_observe_x1000", |b| {
         b.iter(|| {
             for v in 0..1000u64 {
-                hist.observe(v % 64);
+                log_hist.observe(v * v);
             }
-            black_box(hist.snapshot().sum)
+            black_box(log_hist.snapshot().sum)
         })
     });
-    g.bench_function("event_to_json", |b| {
-        let ev = RunEvent::Step {
-            index: 41,
-            pid: 2,
-            op: cil_obs::OpKind::Write,
-            reg: 5,
-            value: "Some(Val(3))".to_string(),
-        };
-        b.iter(|| black_box(ev.to_json()))
-    });
-    g.bench_function("null_sink_emit_x1000", |b| {
-        let ev = RunEvent::Decision {
-            index: 9,
-            pid: 0,
-            value: 1,
-        };
+    c.bench_function("obs/span_enter_exit_disabled_x1000", |b| {
+        let timer = SpanTimer::disabled();
         b.iter(|| {
-            let mut sink = NullSink;
             for _ in 0..1000 {
-                sink.emit(black_box(&ev));
+                let _g = timer.enter("a");
             }
+            black_box(timer.enabled())
         })
     });
-    g.finish();
+    c.bench_function("obs/span_enter_exit_enabled_x1000", |b| {
+        b.iter(|| {
+            let timer = SpanTimer::monotonic();
+            for _ in 0..1000 {
+                let _g = timer.enter("a");
+            }
+            black_box(timer.finish())
+        })
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_runner_events,
-    bench_sweep_observer,
-    bench_metric_updates
-);
-criterion_main!(benches);
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (trials, reps) = if smoke { (800, 5) } else { (4_000, 10) };
+    let quantiles = check_quantiles();
+    let overhead = measure_overhead(trials, reps);
+    println!(
+        "obs/ablation trials={} reps={} baseline={}ns disabled={}ns ({:.4}x) enabled={}ns ({:.4}x)",
+        overhead.trials,
+        overhead.reps,
+        overhead.baseline_ns,
+        overhead.disabled_ns,
+        overhead.disabled_ratio(),
+        overhead.enabled_ns,
+        overhead.enabled_ratio()
+    );
+    // The zero-cost claim: disabled spans must sit within noise of the
+    // uninstrumented baseline (generous bar for loaded CI runners).
+    assert!(
+        overhead.disabled_ratio() <= 1.15,
+        "disabled-span overhead {:.4}x exceeds the 1.15x noise bar",
+        overhead.disabled_ratio()
+    );
+    write_report(&overhead, &quantiles);
+    if smoke {
+        println!("obs bench smoke mode: quantile + overhead checks passed");
+        return;
+    }
+    let mut c = Criterion::default();
+    bench_primitives(&mut c);
+}

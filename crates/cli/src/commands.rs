@@ -5,8 +5,9 @@ use crate::CliFailure;
 use cil_analysis::fnum;
 use cil_audit::{AuditReport, Auditor, MutantKind, MutantTwo, TraceAuditor};
 use cil_conc::{
-    classify, cross_validate, ddmin_schedule, rerun_trial_with_codec, stress_with_codec,
-    ControlledRun, DporConfig, DporReport, RacyTwo, ReplaySchedule, StrategySpec, StressConfig,
+    classify, cross_validate, ddmin_schedule, rerun_trial_with_codec, stress_timed_with_codec,
+    ControlledRun, DporConfig, DporReport, DporTiming, GateTimingAgg, RacyTwo, ReplaySchedule,
+    StrategySpec, StressConfig,
 };
 use cil_core::apps::{elect_leader, MutexLog};
 use cil_core::deterministic::{DetRule, DetTwo};
@@ -23,7 +24,10 @@ use cil_mc::{
     LookaheadAdversary, Symmetric,
 };
 use cil_obs::json::{self, Value};
-use cil_obs::{JsonlSink, LevelReporter, ProgressMeter, Registry, RunEvent};
+use cil_obs::{
+    JsonlSink, LevelReporter, MetricsSnapshot, ProgressMeter, Registry, RunEvent, SpanStat,
+    SpanTimer, SpanTree,
+};
 use cil_registers::Packable;
 use cil_sim::{
     parse_schedule, run_on_threads, Adversary, Alternator, BoxedAdversary, FixedSchedule,
@@ -49,22 +53,33 @@ USAGE:
                 and purity against the paper's §2 / Theorem 6 clauses
   cil sweep     --protocol <P> --inputs a,b[,..] [--adversary <A>] [--trials N]
                 [--seed N] [--max-steps N] [--jobs N] [--progress]
-                [--metrics-out <file>]             parallel Monte-Carlo sweep
+                [--metrics-out <file>] [--metrics-format json|openmetrics]
+                [--timings]                        parallel Monte-Carlo sweep
   cil check     --protocol <P> --inputs a,b[,..] [--depth N] [--max-configs N]
                 [--jobs N] [--stats] [--progress] [--compat-dense]
+                [--metrics-out <file>] [--metrics-format F] [--timings]
   cil mdp       --inputs a,b [--kmax N] [--jobs N] [--metrics-out <file>]
+                [--metrics-format F] [--timings]
                 [--compat-dense]                   exact Theorem 7 analysis
   cil survival  --protocol <P> --inputs a,b[,..] [--target N] [--kmax N]
                 [--depth N] [--max-configs N] [--jobs N] [--metrics-out <file>]
+                [--metrics-format F] [--timings]
                 [--compat-dense]                   exact worst-case survival
                 curve P[target undecided after k of its steps]; --depth is
                 required for the infinite-space protocols (fig2, fig3, n:<c>)
+  cil report    <file> [--merge <f2,f3,..>] [--flame]   offline analyzer for
+                --trace-json captures (per-processor op/coin tables, span
+                tree, decided-by-k, violations) and --metrics-out snapshots
+                (all sections, log-histogram quantiles with error bounds);
+                --merge folds further snapshots in (a shape mismatch exits 2
+                naming the metric); --flame emits folded-stack lines
   cil theorem4  --rule <R> [--steps N]             construct the infinite schedule
   cil elect     [--n N] [--rounds N]               leader election / mutual exclusion
   cil threads   --protocol <P> --inputs ... [--seed N]   real OS threads
   cil conc stress  --protocol <P> --inputs a,b[,..] [--strategy <S>]
                 [--trials N] [--seed N] [--budget N] [--jobs N] [--progress]
-                [--metrics-out <file>] [--trace-json <file>] [--trace-trial N]
+                [--metrics-out <file>] [--metrics-format F] [--timings]
+                [--trace-json <file>] [--trace-trial N]
                 controlled native threads: every register operation is a
                 yield point scheduled by a seeded strategy; a whole batch is
                 a pure function of (--seed, --strategy) at any --jobs
@@ -76,7 +91,8 @@ USAGE:
                 failing stress trial's schedule to a 1-minimal repro
   cil conc explore --protocol <P> --inputs a,b[,..] [--depth-bound D]
                 [--jobs N] [--naive] [--no-hunt] [--cross-check] [--progress]
-                [--metrics-out <file>]   exhaustive DPOR: enumerate every
+                [--metrics-out <file>] [--metrics-format F] [--timings]
+                exhaustive DPOR: enumerate every
                 interleaving and coin outcome to depth D on real threads,
                 with sleep-set partial-order reduction (--naive disables it)
                 after a bounded-preemption hunt pass (--no-hunt skips it);
@@ -102,9 +118,14 @@ BACKENDS: check, mdp and survival run on a hash-consed, symmetry-reduced
       state space by default; --compat-dense switches to the original dense
       enumeration (same verdicts and values, more states).
 OBSERVABILITY: --progress renders a live rate/ETA (sweep) or per-level BFS
-      line (check) on stderr; --metrics-out writes a canonical-JSON metrics
-      snapshot; --trace-json captures a structured JSONL event stream that
-      `cil replay` re-executes and verifies. None of these change results.
+      line (check) on stderr; --metrics-out writes a metrics snapshot in
+      canonical JSON or OpenMetrics text (--metrics-format); --trace-json
+      captures a structured JSONL event stream that `cil replay` re-executes
+      and verifies; `cil report` analyzes both offline. Default exports are
+      deterministic (byte-identical at any --jobs); --timings additionally
+      records wall-clock telemetry — hierarchical spans, log-scale latency
+      histograms (trial, gate-wait/run, per-sweep), reproducible in shape
+      but never in value. None of these change results.
 MUTANTS <M>: width-overflow | unauthorized-reader | unstable-decision
       | non-normalized-coin — the two-processor protocol with one planted
       model violation each; `cil audit mutant:<M>` must reject all four.
@@ -140,6 +161,79 @@ where
         }
         other => return Err(format!("unknown adversary '{other}' (see cil help)")),
     })
+}
+
+/// Writes the registry's snapshot to `--metrics-out` in the selected
+/// `--metrics-format`: canonical JSON (default) or OpenMetrics text.
+/// A no-op when `--metrics-out` was not given, but `--metrics-format`
+/// without a destination is rejected as a usage error.
+fn write_metrics_out(args: &Args, registry: &Registry) -> Result<(), String> {
+    let format = args.get("metrics-format");
+    let Some(path) = args.get("metrics-out") else {
+        if format.is_some() {
+            return Err("--metrics-format needs --metrics-out <file>".into());
+        }
+        return Ok(());
+    };
+    let snap = registry.snapshot();
+    let body = match format.unwrap_or("json") {
+        "json" => snap.to_json(),
+        "openmetrics" => cil_obs::export::to_openmetrics(&snap),
+        other => {
+            return Err(format!(
+                "unknown --metrics-format '{other}' (json | openmetrics)"
+            ))
+        }
+    };
+    std::fs::write(path, body).map_err(|e| format!("cannot write --metrics-out file '{path}': {e}"))
+}
+
+/// Whether `--timings` was requested. Wall-clock telemetry only surfaces
+/// through the metrics export, so the flag requires `--metrics-out`.
+fn timings_flag(args: &Args) -> Result<bool, String> {
+    let on = args.flag("timings");
+    if on && args.get("metrics-out").is_none() {
+        return Err(
+            "--timings records wall-clock telemetry into the metrics export; \
+             add --metrics-out <file>"
+                .into(),
+        );
+    }
+    Ok(on)
+}
+
+/// Elapsed nanoseconds since `started`, saturating at `u64::MAX`.
+fn elapsed_ns(started: std::time::Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Builds the two-level span tree of a trial sweep from its wall-clock
+/// duration and the per-trial timing histogram already in the registry:
+/// `<root>` (batch overhead as self time) over `<root>/trial`.
+fn merge_sweep_spans(registry: &Registry, root: &str, hist: &str, trials: u64, wall_ns: u64) {
+    let trials_total = registry
+        .snapshot()
+        .log_histogram(hist)
+        .map(|h| h.sum)
+        .unwrap_or(0);
+    let mut tree = SpanTree::new();
+    tree.add(
+        root,
+        SpanStat {
+            count: 1,
+            total_ns: wall_ns,
+            self_ns: wall_ns.saturating_sub(trials_total),
+        },
+    );
+    tree.add(
+        &format!("{root}/trial"),
+        SpanStat {
+            count: trials,
+            total_ns: trials_total,
+            self_ns: trials_total,
+        },
+    );
+    registry.merge_spans(&tree);
 }
 
 fn run_one<P: Protocol + 'static>(protocol: &P, args: &Args) -> Result<String, String> {
@@ -563,14 +657,19 @@ where
     let sweep = TrialSweep::new(trials).root_seed(root_seed).jobs(jobs);
     let effective = sweep.effective_jobs();
     let metrics_out = args.get("metrics-out");
+    let timings = timings_flag(args)?;
     let registry = Registry::new();
     let observer = (args.flag("progress") || metrics_out.is_some()).then(|| {
         let mut obs = SweepObserver::new(&registry);
         if args.flag("progress") {
             obs = obs.with_progress(ProgressMeter::new("sweep", Some(trials)));
         }
+        if timings {
+            obs = obs.with_timing(&registry, "sweep");
+        }
         obs
     });
+    let sweep_started = timings.then(std::time::Instant::now);
     let stats = sweep.run_observed(observer.as_ref(), |trial| {
         let adversary =
             make_adversary::<P>(spec, trial.seed).expect("adversary spec validated above");
@@ -583,10 +682,16 @@ where
     if let Some(obs) = &observer {
         obs.finish();
     }
-    if let Some(path) = metrics_out {
-        std::fs::write(path, registry.snapshot().to_json())
-            .map_err(|e| format!("cannot write --metrics-out file '{path}': {e}"))?;
+    if let Some(started) = sweep_started {
+        merge_sweep_spans(
+            &registry,
+            "sweep",
+            "sweep.trial_ns",
+            stats.trials,
+            elapsed_ns(started),
+        );
     }
+    write_metrics_out(args, &registry)?;
     let mut s = String::new();
     let _ = writeln!(s, "protocol : {}", protocol.name());
     let _ = writeln!(
@@ -657,28 +762,70 @@ where
     let depth = args.get_u64("depth", 10)? as usize;
     let max_configs = args.get_u64("max-configs", 3_000_000)? as usize;
     let jobs = args.get_u64("jobs", 0)? as usize;
+    let timings = timings_flag(args)?;
+    let registry = Registry::new();
     let reporter = args.flag("progress").then(|| LevelReporter::new("check"));
+    // Per-level wall clock (only with --timings): each BFS level pushes the
+    // time since the previous one into the `check.level_ns` series.
+    let level_clock = timings.then(|| {
+        (
+            registry.series("check.level_ns"),
+            std::sync::Mutex::new(std::time::Instant::now()),
+        )
+    });
+    let track = |d: usize, frontier: usize, generated: usize, fresh: usize| {
+        if let Some(rep) = &reporter {
+            rep.level(d, frontier, generated, fresh);
+        }
+        if let Some((series, last)) = &level_clock {
+            let mut last = last
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            series.push(elapsed_ns(*last));
+            *last = std::time::Instant::now();
+        }
+    };
+    let observe_levels = reporter.is_some() || level_clock.is_some();
     let (report, compact_stats) = if args.flag("compat-dense") {
         let mut explorer = Explorer::new(protocol, &inputs)
             .max_depth(depth)
             .max_configs(max_configs)
             .jobs(jobs);
-        if let Some(rep) = &reporter {
-            explorer =
-                explorer.on_level(move |l| rep.level(l.depth, l.frontier, l.generated, l.fresh));
+        if observe_levels {
+            explorer = explorer.on_level(|l| track(l.depth, l.frontier, l.generated, l.fresh));
         }
         (explorer.par_run(), None)
     } else {
         let mut explorer = CompactExplorer::new(protocol, &inputs)
             .max_depth(depth)
             .max_configs(max_configs);
-        if let Some(rep) = &reporter {
-            explorer =
-                explorer.on_level(move |l| rep.level(l.depth, l.frontier, l.generated, l.fresh));
+        if observe_levels {
+            explorer = explorer.on_level(|l| track(l.depth, l.frontier, l.generated, l.fresh));
         }
         let (report, stats) = explorer.run_with_stats();
         (report, Some(stats))
     };
+    registry
+        .counter("check.configs")
+        .add(report.explored as u64);
+    registry
+        .counter("check.violations")
+        .add(report.violations.len() as u64);
+    registry.gauge("check.depth").set(depth as u64);
+    registry
+        .gauge("check.complete")
+        .set(u64::from(report.complete));
+    let fresh_series = registry.series("check.level_fresh");
+    let generated_series = registry.series("check.level_generated");
+    for l in &report.levels {
+        fresh_series.push(l.fresh as u64);
+        generated_series.push(l.generated as u64);
+    }
+    if let Some(cs) = &compact_stats {
+        registry.gauge("check.classes").set(cs.classes as u64);
+        registry.counter("check.sym_hits").add(cs.sym_hits);
+    }
+    write_metrics_out(args, &registry)?;
     let mut s = format!(
         "exhaustive check of {} to depth {}\n{} configurations explored \
          (complete: {})\nviolations: {}\n{}\n",
@@ -739,29 +886,59 @@ pub fn mdp(args: &Args) -> Result<String, String> {
     }
     let kmax = args.get_u64("kmax", 20)? as usize;
     let jobs = args.get_u64("jobs", 0)? as usize;
+    let timings = timings_flag(args)?;
+    let timer = if timings {
+        SpanTimer::monotonic()
+    } else {
+        SpanTimer::disabled()
+    };
     let p = TwoProcessor::new();
+    let root = timer.enter("mdp");
     let (header, steps, total, curve, compact) = if args.flag("compat-dense") {
-        let solver = MdpSolver::build(&p, &inputs, 1_000_000);
-        let steps = solver.expected_steps(&p, Objective::StepsOf(0), 1e-12, 100_000);
-        let total = solver.expected_steps(&p, Objective::TotalSteps, 1e-12, 100_000);
-        let curve = solver.survival(&p, 0, kmax, 1e-13, 200_000);
+        let solver = {
+            let _g = timer.enter("build");
+            MdpSolver::build(&p, &inputs, 1_000_000)
+        };
+        let (steps, total) = {
+            let _g = timer.enter("solve");
+            (
+                solver.expected_steps(&p, Objective::StepsOf(0), 1e-12, 100_000),
+                solver.expected_steps(&p, Objective::TotalSteps, 1e-12, 100_000),
+            )
+        };
+        let curve = {
+            let _g = timer.enter("survival");
+            solver.survival(&p, 0, kmax, 1e-13, 200_000)
+        };
         let header = format!("configuration space: {} states (dense)", solver.size());
         (header, steps, total, curve, None)
     } else {
         // The per-processor objective constrains which symmetries apply, so
         // the P0 analysis and the total-steps analysis quotient differently.
-        let p0 = CompactMdp::build(
-            &p,
-            &inputs,
-            &CompactOptions {
-                target: Some(0),
-                ..CompactOptions::default()
-            },
-        )?;
-        let any = CompactMdp::build(&p, &inputs, &CompactOptions::default())?;
-        let steps = p0.expected_steps(Objective::StepsOf(0), 1e-12, 100_000, jobs);
-        let total = any.expected_steps(Objective::TotalSteps, 1e-12, 100_000, jobs);
-        let curve = p0.survival(0, kmax, 1e-13, 200_000, jobs);
+        let (p0, any) = {
+            let _g = timer.enter("build");
+            let p0 = CompactMdp::build(
+                &p,
+                &inputs,
+                &CompactOptions {
+                    target: Some(0),
+                    ..CompactOptions::default()
+                },
+            )?;
+            let any = CompactMdp::build(&p, &inputs, &CompactOptions::default())?;
+            (p0, any)
+        };
+        let (steps, total) = {
+            let _g = timer.enter("solve");
+            (
+                p0.expected_steps(Objective::StepsOf(0), 1e-12, 100_000, jobs),
+                any.expected_steps(Objective::TotalSteps, 1e-12, 100_000, jobs),
+            )
+        };
+        let curve = {
+            let _g = timer.enter("survival");
+            p0.survival(0, kmax, 1e-13, 200_000, jobs)
+        };
         let header = format!(
             "configuration space: {} canonical classes (P0 objective), \
              {} (any-processor objective)",
@@ -770,17 +947,38 @@ pub fn mdp(args: &Args) -> Result<String, String> {
         );
         (header, steps, total, curve, Some(p0))
     };
-    if let Some(path) = args.get("metrics-out") {
-        let registry = Registry::new();
-        if let Some(m) = &compact {
-            m.export_metrics(&registry);
-        }
-        registry
-            .gauge("mdp.iterations")
-            .set(steps.iterations as u64);
-        std::fs::write(path, registry.snapshot().to_json())
-            .map_err(|e| format!("cannot write --metrics-out file '{path}': {e}"))?;
+    drop(root);
+    let registry = Registry::new();
+    registry.merge_spans(&timer.finish());
+    if let Some(m) = &compact {
+        m.export_metrics(&registry);
     }
+    registry
+        .gauge("mdp.iterations")
+        .set(steps.iterations as u64);
+    // Per-sweep VI residuals, in femto-units (1e-15). Deterministic and
+    // jobs-invariant, so they ride in the default export.
+    let residual_fe = |r: f64| (r * 1e15).round() as u64;
+    let p0_res = registry.series("mdp.vi.p0.residual_fe");
+    for r in &steps.residuals {
+        p0_res.push(residual_fe(*r));
+    }
+    let total_res = registry.series("mdp.vi.total.residual_fe");
+    for r in &total.residuals {
+        total_res.push(residual_fe(*r));
+    }
+    if timings {
+        // Wall clock per VI sweep — opt-in, never byte-reproducible.
+        let p0_ns = registry.series("mdp.vi.p0.sweep_ns");
+        for v in &steps.sweep_ns {
+            p0_ns.push(*v);
+        }
+        let total_ns = registry.series("mdp.vi.total.sweep_ns");
+        for v in &total.sweep_ns {
+            total_ns.push(*v);
+        }
+    }
+    write_metrics_out(args, &registry)?;
     let mut s = String::new();
     let _ = writeln!(s, "{header}");
     let _ = writeln!(
@@ -827,11 +1025,22 @@ fn survival_one<P: Symmetric>(protocol: &P, args: &Args) -> Result<String, Strin
         Some(_) => Some(args.get_u64("depth", 0)? as usize),
         None => None,
     };
+    let timings = timings_flag(args)?;
+    let timer = if timings {
+        SpanTimer::monotonic()
+    } else {
+        SpanTimer::disabled()
+    };
+    let registry = Registry::new();
     let mut s = String::new();
+    let root = timer.enter("survival");
     let curve = if args.flag("compat-dense") {
-        let solver = match depth {
-            Some(d) => MdpSolver::build_bounded(protocol, &inputs, max_configs, d),
-            None => MdpSolver::build(protocol, &inputs, max_configs),
+        let solver = {
+            let _g = timer.enter("build");
+            match depth {
+                Some(d) => MdpSolver::build_bounded(protocol, &inputs, max_configs, d),
+                None => MdpSolver::build(protocol, &inputs, max_configs),
+            }
         };
         let _ = writeln!(
             s,
@@ -839,6 +1048,7 @@ fn survival_one<P: Symmetric>(protocol: &P, args: &Args) -> Result<String, Strin
             protocol.name(),
             solver.size()
         );
+        let _g = timer.enter("curve");
         solver.survival(protocol, target, kmax, 1e-13, 200_000)
     } else {
         let opts = CompactOptions {
@@ -847,8 +1057,11 @@ fn survival_one<P: Symmetric>(protocol: &P, args: &Args) -> Result<String, Strin
             target: Some(target),
             ..CompactOptions::default()
         };
-        let mdp = CompactMdp::build(protocol, &inputs, &opts)
-            .map_err(|e| format!("{e} — unbounded protocols need --depth (see cil help)"))?;
+        let mdp = {
+            let _g = timer.enter("build");
+            CompactMdp::build(protocol, &inputs, &opts)
+                .map_err(|e| format!("{e} — unbounded protocols need --depth (see cil help)"))?
+        };
         let stats = *mdp.stats();
         let _ = writeln!(
             s,
@@ -857,14 +1070,13 @@ fn survival_one<P: Symmetric>(protocol: &P, args: &Args) -> Result<String, Strin
             mdp.size(),
             stats.sym_hits
         );
-        if let Some(path) = args.get("metrics-out") {
-            let registry = Registry::new();
-            mdp.export_metrics(&registry);
-            std::fs::write(path, registry.snapshot().to_json())
-                .map_err(|e| format!("cannot write --metrics-out file '{path}': {e}"))?;
-        }
+        mdp.export_metrics(&registry);
+        let _g = timer.enter("curve");
         mdp.survival(target, kmax, 1e-13, 200_000, jobs)
     };
+    drop(root);
+    registry.merge_spans(&timer.finish());
+    write_metrics_out(args, &registry)?;
     if let Some(d) = depth {
         let _ = writeln!(
             s,
@@ -1122,22 +1334,41 @@ where
     conc_check_arity(protocol, &inputs)?;
     let cfg = conc_config(args)?;
     let metrics_out = args.get("metrics-out");
+    let timings = timings_flag(args)?;
     let registry = Registry::new();
     let observer = (args.flag("progress") || metrics_out.is_some()).then(|| {
         let mut obs = SweepObserver::with_prefix(&registry, "conc");
         if args.flag("progress") {
             obs = obs.with_progress(ProgressMeter::new("conc", Some(cfg.trials)));
         }
+        if timings {
+            obs = obs.with_timing(&registry, "conc");
+        }
         obs
     });
-    let stats = stress_with_codec(protocol, &inputs, codec, &cfg, observer.as_ref());
+    let gate_timing = timings.then(|| GateTimingAgg::new(&registry, "conc.gate"));
+    let stress_started = timings.then(std::time::Instant::now);
+    let stats = stress_timed_with_codec(
+        protocol,
+        &inputs,
+        codec,
+        &cfg,
+        observer.as_ref(),
+        gate_timing.as_ref(),
+    );
     if let Some(obs) = &observer {
         obs.finish();
     }
-    if let Some(path) = metrics_out {
-        std::fs::write(path, registry.snapshot().to_json())
-            .map_err(|e| format!("cannot write --metrics-out file '{path}': {e}"))?;
+    if let Some(started) = stress_started {
+        merge_sweep_spans(
+            &registry,
+            "stress",
+            "conc.trial_ns",
+            stats.trials,
+            elapsed_ns(started),
+        );
     }
+    write_metrics_out(args, &registry)?;
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -1526,7 +1757,8 @@ fn dpor_metrics(registry: &Registry, report: &DporReport) {
     registry
         .gauge("conc.dpor.depth_bound")
         .set(report.depth_bound);
-    registry.gauge("conc.dpor.jobs").set(report.jobs as u64);
+    // Deliberately no `jobs` gauge: exports must be byte-identical at any
+    // `--jobs`, so the worker count never enters the snapshot.
     registry
         .gauge("conc.dpor.decision_vectors")
         .set(report.decision_vectors.len() as u64);
@@ -1581,16 +1813,22 @@ where
             m.tick(n);
         }
     };
-    let report = cil_conc::explore_with_codec(protocol, &inputs, codec, &cfg, Some(&tick));
+    let timings = timings_flag(args)?;
+    let registry = Registry::new();
+    let timing = timings.then(|| DporTiming::new(&registry, "conc.dpor"));
+    let report = cil_conc::explore_timed_with_codec(
+        protocol,
+        &inputs,
+        codec,
+        &cfg,
+        Some(&tick),
+        timing.as_ref(),
+    );
     if let Some(m) = &meter {
         m.finish();
     }
-    if let Some(path) = args.get("metrics-out") {
-        let registry = Registry::new();
-        dpor_metrics(&registry, &report);
-        std::fs::write(path, registry.snapshot().to_json())
-            .map_err(|e| format!("cannot write --metrics-out file '{path}': {e}"))?;
-    }
+    dpor_metrics(&registry, &report);
+    write_metrics_out(args, &registry)?;
 
     let mut s = String::new();
     let _ = writeln!(
@@ -1736,4 +1974,360 @@ where
         }
     }
     Err(CliFailure::Audit(s))
+}
+
+/// Renders a flat-JSON value (string or number) for display.
+fn value_text(v: &Value) -> String {
+    match v.as_str() {
+        Some(s) => s.to_string(),
+        None => v.as_num().map(|n| n.to_string()).unwrap_or_default(),
+    }
+}
+
+/// `cil report <file>` — offline analyzer for the artifacts the other
+/// commands write: a `--trace-json` JSONL capture (simulator or conc) or a
+/// `--metrics-out` canonical-JSON metrics snapshot.
+///
+/// Capture mode prints per-processor operation/coin tables, per-register
+/// traffic, decision points, the span tree of the event stream (weighted by
+/// contained events), and recorded violations — all derived from the
+/// deterministic event stream, so the report is byte-reproducible. Metrics
+/// mode renders every snapshot section, estimating log-histogram quantiles
+/// with their bucket error bounds; `--merge <f2,f3,..>` folds further
+/// snapshots in first (commutative). `--flame` switches the output to
+/// folded-stack lines for flamegraph tooling (event counts in capture mode,
+/// self-nanoseconds in metrics mode).
+///
+/// # Errors
+///
+/// [`CliFailure::Usage`] (exit 2) for unreadable or unrecognizable files
+/// and for `--merge` shape mismatches (the error names the offending
+/// metric).
+pub fn report(args: &Args) -> Result<String, CliFailure> {
+    let path = args.pos(0).or_else(|| args.get("file")).ok_or_else(|| {
+        CliFailure::Usage(
+            "report needs a file: cil report <capture.jsonl | metrics.json> \
+             [--merge <f2,f3>] [--flame]"
+                .into(),
+        )
+    })?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let first = text.lines().next().unwrap_or("");
+    let is_capture = json::parse_flat(first)
+        .ok()
+        .is_some_and(|m| m.get("type").and_then(Value::as_str) == Some("meta"));
+    if is_capture {
+        if args.get("merge").is_some() {
+            return Err(CliFailure::Usage(
+                "--merge applies to metrics snapshots; captures cannot be merged".into(),
+            ));
+        }
+        report_capture(path, &text, args).map_err(CliFailure::Usage)
+    } else {
+        report_metrics(path, &text, args)
+    }
+}
+
+/// Per-processor tallies of a capture's event stream.
+#[derive(Default, Clone)]
+struct PidTally {
+    reads: u64,
+    writes: u64,
+    choose: u64,
+    transit: u64,
+    /// `(value, own-step count when deciding, global step index)`.
+    decided: Option<(u64, u64, u64)>,
+}
+
+/// Capture mode of [`report`]: tables over the JSONL event stream.
+fn report_capture(path: &str, text: &str, args: &Args) -> Result<String, String> {
+    let mut lines = text.lines();
+    let meta_line = lines.next().ok_or_else(|| format!("'{path}' is empty"))?;
+    let meta = json::parse_flat(meta_line).map_err(|e| format!("bad meta line: {e}"))?;
+    let mut events = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(
+            RunEvent::from_json(line).map_err(|e| format!("bad event on line {}: {e}", i + 2))?,
+        );
+    }
+
+    let mut pids: std::collections::BTreeMap<usize, PidTally> = std::collections::BTreeMap::new();
+    let mut regs: std::collections::BTreeMap<usize, (u64, u64)> = std::collections::BTreeMap::new();
+    let mut violations: Vec<String> = Vec::new();
+    // Span nesting: (path, self-events, total-events) per open frame. The
+    // weights are contained event counts — deterministic, unlike wall time.
+    let mut stack: Vec<(String, u64, u64)> = Vec::new();
+    let mut spans = SpanTree::new();
+    let mut total_steps = 0u64;
+    for ev in &events {
+        match ev {
+            RunEvent::SpanBegin { name, .. } => {
+                let span_path = match stack.last() {
+                    Some((parent, _, _)) => format!("{parent}/{name}"),
+                    None => name.clone(),
+                };
+                stack.push((span_path, 0, 0));
+            }
+            RunEvent::SpanEnd { .. } => {
+                if let Some((span_path, self_ev, total_ev)) = stack.pop() {
+                    spans.add(
+                        &span_path,
+                        SpanStat {
+                            count: 1,
+                            total_ns: total_ev,
+                            self_ns: self_ev,
+                        },
+                    );
+                    if let Some((_, _, parent_total)) = stack.last_mut() {
+                        *parent_total += total_ev;
+                    }
+                }
+            }
+            other => {
+                if let Some((_, self_ev, total_ev)) = stack.last_mut() {
+                    *self_ev += 1;
+                    *total_ev += 1;
+                }
+                match other {
+                    RunEvent::Step { pid, op, reg, .. } => {
+                        total_steps += 1;
+                        let t = pids.entry(*pid).or_default();
+                        let r = regs.entry(*reg).or_default();
+                        match op {
+                            cil_obs::OpKind::Read => {
+                                t.reads += 1;
+                                r.0 += 1;
+                            }
+                            cil_obs::OpKind::Write => {
+                                t.writes += 1;
+                                r.1 += 1;
+                            }
+                        }
+                    }
+                    RunEvent::CoinFlip { pid, stage, .. } => {
+                        let t = pids.entry(*pid).or_default();
+                        match stage {
+                            cil_obs::CoinStage::Choose => t.choose += 1,
+                            cil_obs::CoinStage::Transit => t.transit += 1,
+                        }
+                    }
+                    RunEvent::Decision { index, pid, value } => {
+                        let t = pids.entry(*pid).or_default();
+                        if t.decided.is_none() {
+                            t.decided = Some((*value, t.reads + t.writes, *index));
+                        }
+                    }
+                    RunEvent::Violation {
+                        index,
+                        kind,
+                        detail,
+                    } => {
+                        violations.push(format!("step {index}: {kind} — {detail}"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    if args.flag("flame") {
+        return Ok(spans.folded());
+    }
+
+    let meta_val = |k: &str| meta.get(k).map(value_text);
+    let mut s = String::new();
+    let _ = writeln!(s, "capture : {path}");
+    let _ = writeln!(
+        s,
+        "mode    : {}   protocol: {}   inputs: {}   seed: {}",
+        meta_val("mode").unwrap_or_else(|| "sim".into()),
+        meta_val("protocol").unwrap_or_else(|| "?".into()),
+        meta_val("inputs").unwrap_or_else(|| "?".into()),
+        meta_val("seed").unwrap_or_else(|| "?".into()),
+    );
+    let _ = writeln!(s, "events  : {}   steps: {total_steps}", events.len());
+
+    let _ = writeln!(
+        s,
+        "\nprocessor  reads  writes  coins(choose)  coins(transit)  decided"
+    );
+    for (pid, t) in &pids {
+        let decided = match t.decided {
+            Some((v, own, global)) => format!(
+                "{} (after {own} of its steps, global step {global})",
+                Val(v)
+            ),
+            None => "—".into(),
+        };
+        let _ = writeln!(
+            s,
+            "{:>9}  {:>5}  {:>6}  {:>13}  {:>14}  {decided}",
+            format!("P{pid}"),
+            t.reads,
+            t.writes,
+            t.choose,
+            t.transit
+        );
+    }
+
+    let _ = writeln!(s, "\nregister  reads  writes");
+    for (reg, (r, w)) in &regs {
+        let _ = writeln!(s, "{:>8}  {r:>5}  {w:>6}", format!("r{reg}"));
+    }
+
+    if !spans.is_empty() {
+        let _ = writeln!(s, "\nspans (weights = contained events):");
+        let _ = writeln!(s, "  count  total   self  path");
+        for (span_path, stat) in spans.iter() {
+            let _ = writeln!(
+                s,
+                "  {:>5}  {:>5}  {:>5}  {span_path}",
+                stat.count, stat.total_ns, stat.self_ns
+            );
+        }
+    }
+
+    // Decided-by-k decay over this capture's processors: how many were
+    // still undecided after k of their own steps, for each decision point.
+    let mut decision_ks: Vec<u64> = pids
+        .values()
+        .filter_map(|t| t.decided.map(|(_, own, _)| own))
+        .collect();
+    decision_ks.sort_unstable();
+    if !decision_ks.is_empty() {
+        let n = pids.len() as u64;
+        let _ = writeln!(s, "\ndecided-by-k (own steps):");
+        let mut done = 0u64;
+        for k in &decision_ks {
+            done += 1;
+            let _ = writeln!(
+                s,
+                "  k = {k:>3}: {done}/{n} decided, {} undecided",
+                n - done
+            );
+        }
+    }
+
+    let decided_vals: Vec<u64> = pids
+        .values()
+        .filter_map(|t| t.decided.map(|(v, _, _)| v))
+        .collect();
+    let consistent = decided_vals.windows(2).all(|w| w[0] == w[1]);
+    if violations.is_empty() {
+        let _ = writeln!(
+            s,
+            "\nviolations: none recorded   consistent: {consistent} ✓"
+        );
+    } else {
+        let _ = writeln!(s, "\nviolations: {}", violations.len());
+        for v in &violations {
+            let _ = writeln!(s, "  {v}");
+        }
+    }
+    Ok(s)
+}
+
+/// Metrics mode of [`report`]: renders (optionally merged) snapshots.
+fn report_metrics(path: &str, text: &str, args: &Args) -> Result<String, CliFailure> {
+    let mut snap = MetricsSnapshot::from_json(text).map_err(|e| {
+        CliFailure::Usage(format!(
+            "'{path}' is neither a JSONL capture (no meta line) nor a \
+             metrics snapshot: {e}"
+        ))
+    })?;
+    let mut merged = 0usize;
+    if let Some(list) = args.get("merge") {
+        for f in list.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            let t = std::fs::read_to_string(f).map_err(|e| format!("cannot read '{f}': {e}"))?;
+            let other = MetricsSnapshot::from_json(&t)
+                .map_err(|e| format!("'{f}' is not a metrics snapshot: {e}"))?;
+            snap.merge(&other)
+                .map_err(|e| format!("cannot merge '{f}': {e}"))?;
+            merged += 1;
+        }
+    }
+    if args.flag("flame") {
+        let mut tree = SpanTree::new();
+        for (p, stat) in &snap.spans {
+            tree.add(p, *stat);
+        }
+        return Ok(tree.folded());
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "metrics snapshot: {path}{}",
+        if merged > 0 {
+            format!(" (+{merged} merged)")
+        } else {
+            String::new()
+        }
+    );
+    if !snap.counters.is_empty() {
+        let _ = writeln!(s, "\ncounters:");
+        for (k, v) in &snap.counters {
+            let _ = writeln!(s, "  {k} = {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(s, "\ngauges:");
+        for (k, v) in &snap.gauges {
+            let _ = writeln!(s, "  {k} = {v}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(s, "\nhistograms:");
+        for (k, h) in &snap.histograms {
+            let _ = writeln!(
+                s,
+                "  {k}: count {}  sum {}  bucket width {}  overflow {}",
+                h.count(),
+                h.sum,
+                h.width,
+                h.overflow
+            );
+        }
+    }
+    if !snap.log_histograms.is_empty() {
+        let _ = writeln!(s, "\nlog histograms (quantile ± bucket error bound):");
+        for (k, h) in &snap.log_histograms {
+            let _ = writeln!(s, "  {k}: count {}  sum {}", h.count(), h.sum);
+            for (label, q) in [
+                ("p50", 0.50),
+                ("p90", 0.90),
+                ("p99", 0.99),
+                ("p99.9", 0.999),
+            ] {
+                if let Some(b) = h.quantile(q) {
+                    let _ = writeln!(s, "    {label:>5} = {} ±{}", b.mid(), b.err());
+                }
+            }
+        }
+    }
+    if !snap.series.is_empty() {
+        let _ = writeln!(s, "\nseries:");
+        for (k, v) in &snap.series {
+            let _ = writeln!(
+                s,
+                "  {k}: len {}  last {}",
+                v.len(),
+                v.last().copied().unwrap_or(0)
+            );
+        }
+    }
+    if !snap.spans.is_empty() {
+        let _ = writeln!(s, "\nspans:");
+        let _ = writeln!(s, "  count      total_ns       self_ns  path");
+        for (p, stat) in &snap.spans {
+            let _ = writeln!(
+                s,
+                "  {:>5}  {:>12}  {:>12}  {p}",
+                stat.count, stat.total_ns, stat.self_ns
+            );
+        }
+    }
+    Ok(s)
 }

@@ -8,7 +8,8 @@
 //!               [--trace] [--trace-json out.jsonl]
 //! cil replay    out.jsonl
 //! cil sweep     --protocol fig2 --inputs a,b,a --trials 10000 --seed 7 --jobs 4
-//!               [--progress] [--metrics-out m.json]
+//!               [--progress] [--metrics-out m.json] [--metrics-format json|openmetrics]
+//!               [--timings]
 //! cil check     --protocol fig3 --inputs a,b,a --depth 11 --jobs 4 [--stats]
 //! cil mdp       --inputs a,b [--kmax 20]
 //! cil survival  --protocol two --inputs a,b --target 0 --kmax 20
@@ -20,6 +21,7 @@
 //! cil conc      shrink --protocol mutant:racy --inputs a,b --trial 3
 //! cil conc      explore mutant:racy --inputs a,b [--depth-bound 24] [--jobs 4]
 //!               [--naive] [--no-hunt] [--cross-check] [--progress]
+//! cil report    <capture.jsonl | metrics.json> [--merge f2,f3] [--flame]
 //! cil help
 //! ```
 //!
@@ -92,6 +94,8 @@ pub fn dispatch_full<I: IntoIterator<Item = String>>(tokens: I) -> Result<String
             "naive",
             "no-hunt",
             "cross-check",
+            "timings",
+            "flame",
         ],
     )
     .map_err(CliFailure::Usage)?;
@@ -108,6 +112,7 @@ pub fn dispatch_full<I: IntoIterator<Item = String>>(tokens: I) -> Result<String
         "elect" => usage(commands::elect(&args)),
         "threads" => usage(commands::threads(&args)),
         "conc" => commands::conc(&args),
+        "report" => commands::report(&args),
         "" | "help" | "--help" | "-h" => Ok(commands::help()),
         other => Err(CliFailure::Usage(format!(
             "unknown command '{other}'\n\n{}",
@@ -148,9 +153,14 @@ mod tests {
             "elect",
             "threads",
             "conc",
+            "report",
             "--jobs",
             "--trace-json",
             "--metrics-out",
+            "--metrics-format",
+            "--timings",
+            "--merge",
+            "--flame",
             "--progress",
             "--stats",
             "--compat-dense",
@@ -166,7 +176,7 @@ mod tests {
         // The usage text must list every current subcommand.
         for c in [
             "run", "replay", "sweep", "check", "mdp", "survival", "theorem4", "elect", "threads",
-            "conc",
+            "conc", "report",
         ] {
             assert!(e.contains(c), "usage missing {c}");
         }

@@ -21,6 +21,67 @@ use crate::strategy::Strategy;
 use cil_obs::{CoinStage, OpKind, RunEvent};
 use cil_sim::{StepRecord, ThreadGate};
 use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Per-thread wall-clock split of a controlled run: how long each thread
+/// spent blocked at the gate waiting for a grant versus running (register
+/// ops plus local compute between yield points). Real time — reproducible
+/// in shape, never in value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadTimes {
+    /// Nanoseconds each thread spent parked at the gate.
+    pub gate_wait_ns: Vec<u64>,
+    /// Nanoseconds each thread spent off the gate (granted or computing).
+    pub run_ns: Vec<u64>,
+}
+
+/// Wall-clock bookkeeping while the run is live (all updates happen under
+/// the scheduler mutex, so plain integers suffice).
+struct TimingState {
+    epoch: Instant,
+    times: ThreadTimes,
+    /// ns-since-epoch when each thread last left the gate (`Some(0)` at
+    /// start: pre-first-park compute counts as running).
+    resumed_at: Vec<Option<u64>>,
+    /// ns-since-epoch when each thread parked, while it waits.
+    parked_at: Vec<Option<u64>>,
+}
+
+impl TimingState {
+    fn new(threads: usize) -> Self {
+        TimingState {
+            epoch: Instant::now(),
+            times: ThreadTimes {
+                gate_wait_ns: vec![0; threads],
+                run_ns: vec![0; threads],
+            },
+            resumed_at: vec![Some(0); threads],
+            parked_at: vec![None; threads],
+        }
+    }
+
+    fn now(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The thread stops running (parks or retires).
+    fn note_stopped(&mut self, pid: usize) {
+        let now = self.now();
+        if let Some(at) = self.resumed_at[pid].take() {
+            self.times.run_ns[pid] += now.saturating_sub(at);
+        }
+        self.parked_at[pid] = Some(now);
+    }
+
+    /// The thread leaves the gate (granted, or bailing out on halt).
+    fn note_resumed(&mut self, pid: usize) {
+        let now = self.now();
+        if let Some(at) = self.parked_at[pid].take() {
+            self.times.gate_wait_ns[pid] += now.saturating_sub(at);
+        }
+        self.resumed_at[pid] = Some(now);
+    }
+}
 
 /// Why a controlled run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +117,7 @@ struct SchedState {
     halt: Option<ConcHalt>,
     schedule: Vec<usize>,
     events: Option<Vec<RunEvent>>,
+    timing: Option<TimingState>,
 }
 
 /// A [`ThreadGate`] that serializes steps under a [`Strategy`], records the
@@ -79,15 +141,29 @@ impl Coordinator {
                 halt: None,
                 schedule: Vec::new(),
                 events: capture.then(Vec::new),
+                timing: None,
             }),
             cv: Condvar::new(),
         }
     }
 
+    /// Enables per-thread gate-wait/run wall-clock accounting (see
+    /// [`ThreadTimes`]). Call before any protocol thread starts.
+    pub fn with_timing(self, yes: bool) -> Self {
+        if yes {
+            let mut st = self.lock();
+            let threads = st.status.len();
+            st.timing = Some(TimingState::new(threads));
+            drop(st);
+        }
+        self
+    }
+
     /// Consumes the coordinator after all threads joined, yielding the halt
-    /// reason, the executed schedule (one pid per step, in order), and the
-    /// captured events (empty unless capturing).
-    pub fn finish(self) -> (ConcHalt, Vec<usize>, Vec<RunEvent>) {
+    /// reason, the executed schedule (one pid per step, in order), the
+    /// captured events (empty unless capturing), and the per-thread timing
+    /// split (if [`with_timing`](Coordinator::with_timing) was enabled).
+    pub fn finish(self) -> (ConcHalt, Vec<usize>, Vec<RunEvent>, Option<ThreadTimes>) {
         let st = self
             .state
             .into_inner()
@@ -96,6 +172,7 @@ impl Coordinator {
             st.halt.unwrap_or(ConcHalt::Done),
             st.schedule,
             st.events.unwrap_or_default(),
+            st.timing.map(|t| t.times),
         )
     }
 
@@ -167,17 +244,24 @@ impl ThreadGate for Coordinator {
 
     fn acquire(&self, pid: usize) -> bool {
         let mut st = self.lock();
+        if let Some(t) = st.timing.as_mut() {
+            t.note_stopped(pid);
+        }
         if st.halt.is_some() {
+            if let Some(t) = st.timing.as_mut() {
+                t.note_resumed(pid);
+            }
             return false;
         }
         st.status[pid] = Status::Parked;
         Self::try_dispatch(&mut st, &self.cv);
         loop {
-            if st.status[pid] == Status::Granted {
-                return true;
-            }
-            if st.halt.is_some() {
-                return false;
+            if st.status[pid] == Status::Granted || st.halt.is_some() {
+                let granted = st.status[pid] == Status::Granted;
+                if let Some(t) = st.timing.as_mut() {
+                    t.note_resumed(pid);
+                }
+                return granted;
             }
             st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
@@ -235,6 +319,10 @@ impl ThreadGate for Coordinator {
 
     fn retire(&self, pid: usize) {
         let mut st = self.lock();
+        if let Some(t) = st.timing.as_mut() {
+            t.note_stopped(pid);
+            t.parked_at[pid] = None; // retiring, not waiting
+        }
         st.status[pid] = Status::Retired;
         Self::try_dispatch(&mut st, &self.cv);
     }

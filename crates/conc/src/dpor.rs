@@ -41,8 +41,9 @@ use crate::coordinator::ConcHalt;
 use crate::indep::{Access, AccessSet};
 use crate::run::{ConcOutcome, ControlledRun};
 use crate::strategy::Strategy;
-use crate::stress::classify;
+use crate::stress::{classify, GateTimingAgg};
 use cil_mc::Config;
+use cil_obs::metrics::{LogHistogram, Registry};
 use cil_registers::{Packable, RegId};
 use cil_sim::{PackCodec, Protocol, TrialOutcome, Val, WordCodec};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -535,6 +536,30 @@ struct Ctx<'a, P, C> {
     stop_on_violation: bool,
     sample_cap: usize,
     progress: Option<&'a (dyn Fn(u64) + Sync)>,
+    timing: Option<&'a DporTiming>,
+}
+
+/// Wall-clock telemetry for an exploration: one `<prefix>.exec_ns`
+/// observation per executed interleaving, plus the per-thread
+/// gate-wait/run split of every execution (`<prefix>.gate_wait_ns`,
+/// `<prefix>.run_ns`). All sinks are commutative `cil-obs` atomics, so
+/// attaching timing never perturbs the report or its digest.
+pub struct DporTiming {
+    exec_ns: Arc<LogHistogram>,
+    gate: GateTimingAgg,
+}
+
+/// Sub-bucket resolution of the exploration timing histograms.
+const DPOR_TIMING_SUB_BITS: u32 = 5;
+
+impl DporTiming {
+    /// A timing sink registering its histograms under `<prefix>.*`.
+    pub fn new(registry: &Registry, prefix: &str) -> Self {
+        DporTiming {
+            exec_ns: registry.log_histogram(&format!("{prefix}.exec_ns"), DPOR_TIMING_SUB_BITS),
+            gate: GateTimingAgg::new(registry, prefix),
+        }
+    }
 }
 
 /// Advances the enumeration cursor to the next unexplored execution.
@@ -609,10 +634,18 @@ where
             cur: 0,
             shared: Arc::clone(&shared),
         };
-        let outcome = ControlledRun::new(ctx.protocol, ctx.inputs)
+        let exec_started = ctx.timing.map(|_| std::time::Instant::now());
+        let (outcome, times) = ControlledRun::new(ctx.protocol, ctx.inputs)
             .seed(0)
             .budget(run_budget)
-            .run_with_codec(ctx.codec, Box::new(strat));
+            .run_timed_with_codec(ctx.codec, Box::new(strat), ctx.timing.is_some());
+        if let (Some(t), Some(started)) = (ctx.timing, exec_started) {
+            t.exec_ns
+                .observe(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            if let Some(times) = &times {
+                t.gate.fold(times);
+            }
+        }
         let trace = Arc::try_unwrap(shared)
             .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
             .unwrap_or_else(|arc| arc.lock().unwrap_or_else(PoisonError::into_inner).clone());
@@ -843,6 +876,24 @@ where
     P::Reg: Send + Sync,
     C: WordCodec<P::Reg>,
 {
+    explore_timed_with_codec(protocol, inputs, codec, cfg, progress, None)
+}
+
+/// [`explore_with_codec`] with an optional wall-clock [`DporTiming`] sink.
+/// The report is byte-identical with and without it.
+pub fn explore_timed_with_codec<P, C>(
+    protocol: &P,
+    inputs: &[Val],
+    codec: &C,
+    cfg: &DporConfig,
+    progress: Option<&(dyn Fn(u64) + Sync)>,
+    timing: Option<&DporTiming>,
+) -> DporReport
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+    C: WordCodec<P::Reg>,
+{
     let mut report = DporReport {
         protocol: protocol.name(),
         inputs: inputs.to_vec(),
@@ -875,6 +926,7 @@ where
             stop_on_violation: true,
             sample_cap: cfg.max_violation_samples,
             progress,
+            timing,
         };
         let mut hunt = Tally::default();
         for u in dfs_core(&ctx, &[], &[], None) {
@@ -905,6 +957,7 @@ where
         stop_on_violation: false,
         sample_cap: cfg.max_violation_samples,
         progress,
+        timing,
     };
     let (tally, frontier_roots) = if cfg.depth_bound > cfg.split_depth {
         let units = dfs_core(&ctx, &[], &[], Some(cfg.split_depth));

@@ -50,17 +50,20 @@ mod shrink;
 mod strategy;
 mod stress;
 
-pub use coordinator::{ConcHalt, Coordinator};
+pub use coordinator::{ConcHalt, Coordinator, ThreadTimes};
 pub use dpor::{
-    cross_validate, explore, explore_with_codec, CrossCheck, DporConfig, DporReport, DporViolation,
-    HuntReport, TerminalConfig,
+    cross_validate, explore, explore_timed_with_codec, explore_with_codec, CrossCheck, DporConfig,
+    DporReport, DporTiming, DporViolation, HuntReport, TerminalConfig,
 };
 pub use indep::{Access, AccessSet};
 pub use mutant::{RacyState, RacyTwo};
 pub use run::{ConcOutcome, ControlledRun};
 pub use shrink::ddmin_schedule;
 pub use strategy::{Pct, RandomWalk, ReplaySchedule, Strategy, StrategySpec};
-pub use stress::{classify, rerun_trial_with_codec, stress, stress_with_codec, StressConfig};
+pub use stress::{
+    classify, rerun_trial_with_codec, stress, stress_timed_with_codec, stress_with_codec,
+    GateTimingAgg, StressConfig,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,6 @@
 //! One controlled native run: builder, outcome, and safety classification.
 
-use crate::coordinator::{ConcHalt, Coordinator};
+use crate::coordinator::{ConcHalt, Coordinator, ThreadTimes};
 use crate::strategy::Strategy;
 use cil_obs::RunEvent;
 use cil_registers::Packable;
@@ -62,8 +62,25 @@ where
     where
         C: WordCodec<P::Reg>,
     {
+        self.run_timed_with_codec(codec, strategy, false).0
+    }
+
+    /// [`run_with_codec`](ControlledRun::run_with_codec) with optional
+    /// per-thread gate-wait/run wall-clock accounting. The timing rides
+    /// outside [`ConcOutcome`], so outcome equality (replay checks, DPOR
+    /// digests) never depends on the clock.
+    pub fn run_timed_with_codec<C>(
+        &self,
+        codec: &C,
+        strategy: Box<dyn Strategy>,
+        timed: bool,
+    ) -> (ConcOutcome, Option<ThreadTimes>)
+    where
+        C: WordCodec<P::Reg>,
+    {
         let n = self.protocol.processes();
-        let coordinator = Coordinator::new(n, self.budget, strategy, self.capture);
+        let coordinator =
+            Coordinator::new(n, self.budget, strategy, self.capture).with_timing(timed);
         let out = run_on_threads_gated(
             self.protocol,
             self.inputs,
@@ -72,7 +89,7 @@ where
             codec,
             &coordinator,
         );
-        let (halt, schedule, step_events) = coordinator.finish();
+        let (halt, schedule, step_events, times) = coordinator.finish();
         let mut events = Vec::new();
         if self.capture {
             events.reserve(step_events.len() + 2);
@@ -86,17 +103,20 @@ where
                 detail: format!("{halt:?}"),
             });
         }
-        ConcOutcome {
-            inputs: self.inputs.to_vec(),
-            decisions: out.decisions,
-            steps: out.steps,
-            flips: out.flips,
-            reg_words: out.reg_words,
-            total_steps: schedule.len() as u64,
-            halt,
-            schedule,
-            events,
-        }
+        (
+            ConcOutcome {
+                inputs: self.inputs.to_vec(),
+                decisions: out.decisions,
+                steps: out.steps,
+                flips: out.flips,
+                reg_words: out.reg_words,
+                total_steps: schedule.len() as u64,
+                halt,
+                schedule,
+                events,
+            },
+            times,
+        )
     }
 }
 

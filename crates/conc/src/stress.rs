@@ -9,13 +9,50 @@
 //! a whole stress batch is reproducible from `(root_seed, strategy)` alone,
 //! at any `--jobs` setting.
 
+use crate::coordinator::ThreadTimes;
 use crate::run::{ConcOutcome, ControlledRun};
 use crate::strategy::StrategySpec;
+use cil_obs::metrics::{LogHistogram, Registry};
 use cil_registers::Packable;
 use cil_sim::{
     PackCodec, Protocol, Rng, SweepObserver, SweepStats, TrialOutcome, TrialResult, TrialSweep,
     Val, WordCodec,
 };
+use std::sync::Arc;
+
+/// Sub-bucket resolution of the gate timing log-histograms (matches the
+/// sweep engine's `trial_ns` resolution: quantiles within 3.2%).
+const GATE_TIMING_SUB_BITS: u32 = 5;
+
+/// Aggregates per-thread [`ThreadTimes`] into `cil-obs` log-histograms:
+/// one `<prefix>.gate_wait_ns` and one `<prefix>.run_ns` observation per
+/// thread per run. Wall-clock values — keep them out of
+/// determinism-checked exports.
+pub struct GateTimingAgg {
+    gate_wait_ns: Arc<LogHistogram>,
+    run_ns: Arc<LogHistogram>,
+}
+
+impl GateTimingAgg {
+    /// An aggregator registering its histograms under `<prefix>.*`.
+    pub fn new(registry: &Registry, prefix: &str) -> Self {
+        GateTimingAgg {
+            gate_wait_ns: registry
+                .log_histogram(&format!("{prefix}.gate_wait_ns"), GATE_TIMING_SUB_BITS),
+            run_ns: registry.log_histogram(&format!("{prefix}.run_ns"), GATE_TIMING_SUB_BITS),
+        }
+    }
+
+    /// Folds one run's per-thread split in (commutative, lock-free).
+    pub fn fold(&self, times: &ThreadTimes) {
+        for &ns in &times.gate_wait_ns {
+            self.gate_wait_ns.observe(ns);
+        }
+        for &ns in &times.run_ns {
+            self.run_ns.observe(ns);
+        }
+    }
+}
 
 /// Configuration of one controlled stress batch.
 #[derive(Debug, Clone)]
@@ -87,6 +124,25 @@ where
     P::Reg: Send + Sync,
     C: WordCodec<P::Reg>,
 {
+    stress_timed_with_codec(protocol, inputs, codec, cfg, observer, None)
+}
+
+/// [`stress_with_codec`] with optional per-thread gate-wait/run timing
+/// folded into `timing`. Timing only touches commutative atomics, so the
+/// returned stats stay byte-identical with and without it.
+pub fn stress_timed_with_codec<P, C>(
+    protocol: &P,
+    inputs: &[Val],
+    codec: &C,
+    cfg: &StressConfig,
+    observer: Option<&SweepObserver>,
+    timing: Option<&GateTimingAgg>,
+) -> SweepStats
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+    C: WordCodec<P::Reg>,
+{
     let threads = protocol.processes();
     TrialSweep::new(cfg.trials)
         .root_seed(cfg.root_seed)
@@ -94,10 +150,13 @@ where
         .max_failure_samples(cfg.max_failure_samples)
         .run_observed(observer, |trial| {
             let strategy = cfg.strategy.build(trial.seed, threads, cfg.budget);
-            let outcome = ControlledRun::new(protocol, inputs)
+            let (outcome, times) = ControlledRun::new(protocol, inputs)
                 .seed(trial.seed)
                 .budget(cfg.budget)
-                .run_with_codec(codec, strategy);
+                .run_timed_with_codec(codec, strategy, timing.is_some());
+            if let (Some(agg), Some(times)) = (timing, &times) {
+                agg.fold(times);
+            }
             classify(&outcome)
         })
 }

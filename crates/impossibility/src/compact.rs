@@ -529,8 +529,11 @@ impl<P: Symmetric> CompactMdp<P> {
         let mut v = vec![0.0f64; n];
         let mut v_next = vec![0.0f64; n];
         let mut iterations = 0;
+        let mut residuals = Vec::new();
+        let mut sweep_ns = Vec::new();
         for it in 0..max_iter {
             iterations = it + 1;
+            let sweep_started = std::time::Instant::now();
             {
                 let v = &v;
                 fill_parallel(&mut v_next, jobs, |i| csr.sweep_value(i, objective, v));
@@ -540,6 +543,8 @@ impl<P: Symmetric> CompactMdp<P> {
                 delta = delta.max((v_next[i] - v[i]).abs());
             }
             std::mem::swap(&mut v, &mut v_next);
+            residuals.push(delta);
+            sweep_ns.push(u64::try_from(sweep_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
             if delta < tol {
                 break;
             }
@@ -555,6 +560,8 @@ impl<P: Symmetric> CompactMdp<P> {
             values: v,
             policy,
             iterations,
+            residuals,
+            sweep_ns,
         }
     }
 

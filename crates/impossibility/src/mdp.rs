@@ -53,6 +53,13 @@ pub struct Solve {
     pub policy: Vec<Option<usize>>,
     /// Iterations used.
     pub iterations: usize,
+    /// Sup-norm residual after each sweep (one entry per iteration). A
+    /// deterministic function of the model — identical at any `--jobs` —
+    /// so it exports as a convergence time series.
+    pub residuals: Vec<f64>,
+    /// Wall-clock nanoseconds per sweep (one entry per iteration). Real
+    /// time: reproducible in shape, not in value.
+    pub sweep_ns: Vec<u64>,
 }
 
 impl<P: Protocol> MdpSolver<P> {
@@ -154,8 +161,11 @@ impl<P: Protocol> MdpSolver<P> {
         let mut v = vec![0.0f64; n];
         let mut policy: Vec<Option<usize>> = vec![None; n];
         let mut iterations = 0;
+        let mut residuals = Vec::new();
+        let mut sweep_ns = Vec::new();
         for it in 0..max_iter {
             iterations = it + 1;
+            let sweep_started = std::time::Instant::now();
             let mut delta = 0.0f64;
             for i in 0..n {
                 if self.absorbing(protocol, i, objective) {
@@ -181,6 +191,8 @@ impl<P: Protocol> MdpSolver<P> {
                 v[i] = best;
                 policy[i] = best_pid;
             }
+            residuals.push(delta);
+            sweep_ns.push(u64::try_from(sweep_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
             if delta < tol {
                 break;
             }
@@ -190,6 +202,8 @@ impl<P: Protocol> MdpSolver<P> {
             values: v,
             policy,
             iterations,
+            residuals,
+            sweep_ns,
         }
     }
 

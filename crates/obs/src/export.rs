@@ -1,0 +1,180 @@
+//! OpenMetrics / Prometheus text-format rendering of a
+//! [`MetricsSnapshot`], the machine-readable sibling of the canonical
+//! JSON export.
+//!
+//! The rendering is deterministic: metric names sort, bucket boundaries
+//! are derived from the snapshot shape, and nothing depends on wall-clock
+//! state — so two equal snapshots render byte-identically, preserving the
+//! jobs-count-invariance contract for `--metrics-out … --metrics-format
+//! openmetrics`.
+//!
+//! Mapping notes:
+//!
+//! * Counters render as `<name>_total`; gauges as bare samples.
+//! * Histograms (linear and log-scale) render as cumulative
+//!   `_bucket{le="…"}` samples plus `_sum`/`_count`. All observed values
+//!   are integers, so the inclusive `le` of a bucket covering `[lo, hi)`
+//!   is `hi - 1` — exact, no epsilon games.
+//! * Span stats render as three counter families (`span_count`,
+//!   `span_total_ns`, `span_self_ns`) labeled by path; series render as
+//!   gauges labeled by index.
+//! * Metric names are sanitized to `[a-zA-Z0-9_:]` (dots and slashes
+//!   become underscores).
+
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Rewrites a metric name into the OpenMetrics charset.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Escapes a label value (backslash, quote, newline).
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a snapshot in OpenMetrics text format, terminated by `# EOF`.
+pub fn to_openmetrics(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n}_total {v}");
+    }
+
+    for (name, v) in &snap.gauges {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (i, c) in h.counts.iter().enumerate() {
+            cumulative += c;
+            let le = (i as u64 + 1) * h.width - 1;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        cumulative += h.overflow;
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count());
+    }
+
+    for (name, h) in &snap.log_histograms {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (&idx, &c) in &h.buckets {
+            cumulative += c;
+            let (_, hi) = h.bucket_bounds(idx);
+            let le = hi - 1;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count());
+    }
+
+    for (name, values) in &snap.series {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        for (i, v) in values.iter().enumerate() {
+            let _ = writeln!(out, "{n}{{index=\"{i}\"}} {v}");
+        }
+    }
+
+    if !snap.spans.is_empty() {
+        for (family, pick) in [
+            ("span_count", 0usize),
+            ("span_total_ns", 1),
+            ("span_self_ns", 2),
+        ] {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            for (path, s) in &snap.spans {
+                let v = [s.count, s.total_ns, s.self_ns][pick];
+                let _ = writeln!(out, "{family}_total{{span=\"{}\"}} {v}", escape_label(path));
+            }
+        }
+    }
+
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::span::{SpanStat, SpanTree};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let r = Registry::new();
+        r.counter("sweep.trials").add(8);
+        r.gauge("frontier.peak").set(42);
+        let h = r.histogram("sweep.steps", 2, 3);
+        h.observe(0);
+        h.observe(3);
+        h.observe(99);
+        let lh = r.log_histogram("trial_ns", 2);
+        lh.observe(5);
+        lh.observe(1000);
+        r.series("vi.residual").push(7);
+        let mut tree = SpanTree::new();
+        tree.add(
+            "solve/sweep",
+            SpanStat {
+                count: 3,
+                total_ns: 90,
+                self_ns: 50,
+            },
+        );
+        r.merge_spans(&tree);
+        r.snapshot()
+    }
+
+    #[test]
+    fn renders_every_metric_kind() {
+        let text = to_openmetrics(&sample_snapshot());
+        assert!(text.contains("# TYPE sweep_trials counter\nsweep_trials_total 8\n"));
+        assert!(text.contains("# TYPE frontier_peak gauge\nfrontier_peak 42\n"));
+        // Linear histogram: buckets [0,2) [2,4) [4,6) → le 1, 3, 5; one
+        // observation overflows.
+        assert!(text.contains("sweep_steps_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("sweep_steps_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("sweep_steps_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("sweep_steps_sum 102\n"));
+        assert!(text.contains("sweep_steps_count 3\n"));
+        assert!(text.contains("trial_ns_bucket{le=\"5\"} 1\n"));
+        assert!(text.contains("trial_ns_count 2\n"));
+        assert!(text.contains("vi_residual{index=\"0\"} 7\n"));
+        assert!(text.contains("span_total_ns_total{span=\"solve/sweep\"} 90\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = to_openmetrics(&sample_snapshot());
+        let b = to_openmetrics(&sample_snapshot());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sanitizes_names_and_labels() {
+        assert_eq!(sanitize("sweep.trial_ns"), "sweep_trial_ns");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -158,6 +158,133 @@ pub fn parse_flat(line: &str) -> Result<BTreeMap<String, Value>, String> {
     }
 }
 
+/// A parsed JSON value tree: strings, unsigned integers, arrays, objects.
+///
+/// This is the nested counterpart of [`Value`]/[`parse_flat`], used to read
+/// back the canonical metrics exports (which nest histograms inside the
+/// snapshot object). Floats, booleans and `null` never appear in this
+/// workspace's formats and are rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A non-negative integer.
+    Num(u64),
+    /// An array of values.
+    Arr(Vec<Node>),
+    /// An object with sorted keys.
+    Obj(BTreeMap<String, Node>),
+}
+
+impl Node {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Node::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if this is a number.
+    pub fn as_num(&self) -> Option<u64> {
+        match self {
+            Node::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Node]> {
+        match self {
+            Node::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Node>> {
+        match self {
+            Node::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON value with arbitrary nesting (string and unsigned
+/// integer scalars only).
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax problem encountered,
+/// including trailing garbage after the value.
+pub fn parse_value(text: &str) -> Result<Node, String> {
+    let mut chars = text.trim().chars().peekable();
+    let node = parse_node(&mut chars)?;
+    skip_ws(&mut chars);
+    match chars.next() {
+        None => Ok(node),
+        Some(c) => Err(format!("trailing garbage starting at '{c}'")),
+    }
+}
+
+fn parse_node(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Node, String> {
+    skip_ws(chars);
+    match chars.peek() {
+        Some('"') => Ok(Node::Str(parse_string(chars)?)),
+        Some('{') => {
+            chars.next();
+            let mut out = BTreeMap::new();
+            skip_ws(chars);
+            if chars.peek() == Some(&'}') {
+                chars.next();
+                return Ok(Node::Obj(out));
+            }
+            loop {
+                skip_ws(chars);
+                let key = parse_string(chars)?;
+                skip_ws(chars);
+                expect(chars, ':')?;
+                let value = parse_node(chars)?;
+                out.insert(key, value);
+                skip_ws(chars);
+                match chars.next() {
+                    Some(',') => continue,
+                    Some('}') => return Ok(Node::Obj(out)),
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Some('[') => {
+            chars.next();
+            let mut out = Vec::new();
+            skip_ws(chars);
+            if chars.peek() == Some(&']') {
+                chars.next();
+                return Ok(Node::Arr(out));
+            }
+            loop {
+                out.push(parse_node(chars)?);
+                skip_ws(chars);
+                match chars.next() {
+                    Some(',') => continue,
+                    Some(']') => return Ok(Node::Arr(out)),
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() => {
+            let mut num = String::new();
+            while chars.peek().is_some_and(char::is_ascii_digit) {
+                num.push(chars.next().expect("peeked"));
+            }
+            Ok(Node::Num(
+                num.parse().map_err(|_| format!("bad number '{num}'"))?,
+            ))
+        }
+        other => Err(format!("unexpected value start {other:?}")),
+    }
+}
+
 fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
     while chars.peek().is_some_and(|c| c.is_whitespace()) {
         chars.next();
@@ -237,5 +364,38 @@ mod tests {
     fn num_array_formats() {
         assert_eq!(num_array(&[]), "[]");
         assert_eq!(num_array(&[1, 2, 3]), "[1,2,3]");
+    }
+
+    #[test]
+    fn parse_value_handles_nesting() {
+        let n = parse_value(r#"{"a":{"b":[1,2,{"c":"x"}]},"d":7}"#).unwrap();
+        let obj = n.as_obj().unwrap();
+        assert_eq!(obj["d"].as_num(), Some(7));
+        let arr = obj["a"].as_obj().unwrap()["b"].as_arr().unwrap();
+        assert_eq!(arr[0].as_num(), Some(1));
+        assert_eq!(arr[2].as_obj().unwrap()["c"].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn parse_value_rejects_trailing_garbage_and_other_scalars() {
+        assert!(parse_value(r#"{"a":1} junk"#).is_err());
+        assert!(parse_value(r#"{"a":true}"#).is_err());
+        assert!(parse_value(r#"{"a":-1}"#).is_err());
+        assert!(parse_value(r#"[1,2"#).is_err());
+    }
+
+    #[test]
+    fn parse_value_round_trips_writer_output() {
+        let written = ObjWriter::new()
+            .str("s", "v\"w")
+            .num("n", 3)
+            .raw("inner", &ObjWriter::new().num("x", 1).finish())
+            .raw("list", &num_array(&[4, 5]))
+            .finish();
+        let node = parse_value(&written).unwrap();
+        let obj = node.as_obj().unwrap();
+        assert_eq!(obj["s"].as_str(), Some("v\"w"));
+        assert_eq!(obj["inner"].as_obj().unwrap()["x"].as_num(), Some(1));
+        assert_eq!(obj["list"].as_arr().unwrap().len(), 2);
     }
 }

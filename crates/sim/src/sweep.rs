@@ -54,7 +54,7 @@
 use crate::executor::{Halt, RunOutcome};
 use crate::protocol::Protocol;
 use crate::rng::{Rng as _, Xoshiro256StarStar};
-use cil_obs::metrics::{Counter, Histogram, Registry};
+use cil_obs::metrics::{Counter, Histogram, LogHistogram, Registry};
 use cil_obs::ProgressMeter;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -373,12 +373,17 @@ pub struct SweepObserver {
     flagged: Arc<Counter>,
     steps: Arc<Histogram>,
     decided_by_k: Arc<Histogram>,
+    trial_ns: Option<Arc<LogHistogram>>,
     progress: Option<ProgressMeter>,
 }
 
 /// Histogram buckets kept per metric distribution (width 1, plus an
 /// overflow bucket for anything ≥ this).
 const SWEEP_HIST_BUCKETS: usize = 512;
+
+/// Sub-bucket resolution of timing log-histograms: 2^5 sub-buckets per
+/// octave keeps every quantile within 3.2% relative error.
+const TIMING_SUB_BITS: u32 = 5;
 
 impl SweepObserver {
     /// An observer registering its metrics in `registry` under `sweep.*`.
@@ -399,6 +404,7 @@ impl SweepObserver {
             flagged: registry.counter(&name("flagged")),
             steps: registry.histogram(&name("steps"), 1, SWEEP_HIST_BUCKETS),
             decided_by_k: registry.histogram(&name("decided_by_k"), 1, SWEEP_HIST_BUCKETS),
+            trial_ns: None,
             progress: None,
         }
     }
@@ -407,6 +413,32 @@ impl SweepObserver {
     pub fn with_progress(mut self, meter: ProgressMeter) -> Self {
         self.progress = Some(meter);
         self
+    }
+
+    /// Enables per-trial wall-clock timing: each trial's duration lands in
+    /// a `<prefix>.trial_ns` log-scale histogram (p50/p99 latency, total
+    /// time). Timing values are wall clock, so — unlike every other sweep
+    /// metric — they are *not* byte-identical across runs or `--jobs`
+    /// settings; callers keep them out of determinism-checked exports.
+    pub fn with_timing(mut self, registry: &Registry, prefix: &str) -> Self {
+        self.trial_ns =
+            Some(registry.log_histogram(&format!("{prefix}.trial_ns"), TIMING_SUB_BITS));
+        self
+    }
+
+    /// True if [`with_timing`](SweepObserver::with_timing) was called —
+    /// the sweep only reads the clock around trials when someone wants
+    /// the numbers.
+    pub fn wants_timing(&self) -> bool {
+        self.trial_ns.is_some()
+    }
+
+    /// [`record`](SweepObserver::record) plus an optional trial duration.
+    pub fn record_timed(&self, result: &TrialResult, elapsed_ns: Option<u64>) {
+        if let (Some(hist), Some(ns)) = (&self.trial_ns, elapsed_ns) {
+            hist.observe(ns);
+        }
+        self.record(result);
     }
 
     /// Folds one trial's result into the metrics (commutative, lock-free).
@@ -512,10 +544,14 @@ impl TrialSweep {
             index,
             seed: crate::SplitMix64::jump(self.root_seed, index).next_u64(),
         };
+        let time_trials = observer.is_some_and(SweepObserver::wants_timing);
         let absorb_one = |stats: &mut SweepStats, index: u64| {
+            let started = time_trials.then(std::time::Instant::now);
             let result = trial_fn(trial_at(index));
             if let Some(o) = observer {
-                o.record(&result);
+                let elapsed =
+                    started.map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                o.record_timed(&result, elapsed);
             }
             stats.absorb(index, result);
         };
