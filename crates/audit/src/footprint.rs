@@ -1,0 +1,569 @@
+//! Static access footprints: per (processor, local state, coin branch), the
+//! exact set of `(register, read|write)` accesses reachable from that state.
+//!
+//! The footprint analysis extends the walker's observable-alphabet fixpoint
+//! ([`crate::walker`]): it first runs the fixpoint to convergence, then
+//! re-walks each processor's reachable graph against the *final* alphabets,
+//! capturing every node, every `choose` branch with its register access, and
+//! every successor edge. A closure fixpoint over that graph yields, for each
+//! state and each coin branch, every access any continuation can perform —
+//! the table [`FootprintTable`] renders and serializes.
+//!
+//! Because the walker over-approximates real executions (reads are expanded
+//! against the whole alphabet, every coin branch is followed), the computed
+//! footprints **over-approximate** every access an actual schedule can
+//! observe: any access a controlled native run performs from a state is a
+//! member of that state's predicted footprint. That containment is what lets
+//! the DPOR explorer (`cil-conc`) replace its conservative "unknown
+//! footprint wakes on anything" fallback with a precise static wake check,
+//! and it is validated dynamically both by the explorer itself and by the
+//! cross-crate property tests.
+
+use crate::walker::{quiet_catch, Alphabets, Auditor};
+use cil_obs::json::ObjWriter;
+use cil_sim::{Op, Protocol, Val};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+/// One register access: which register (by dense `RegId` index) and whether
+/// it writes. The paper's model performs exactly one such access per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegAccess {
+    /// Register index (`RegId.0`).
+    pub reg: usize,
+    /// `true` for a write, `false` for a read.
+    pub write: bool,
+}
+
+impl fmt::Display for RegAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} r{}",
+            if self.write { "write" } else { "read" },
+            self.reg
+        )
+    }
+}
+
+/// One captured `choose` branch of a node: the operation, its access, and
+/// the successor nodes it can transit to (over every alphabet read value).
+pub(crate) struct FpBranch<P: Protocol> {
+    /// The operation this branch performs.
+    pub(crate) op: Op<P::Reg>,
+    /// The single register access of the operation.
+    pub(crate) access: RegAccess,
+    /// Successor node indices, deduplicated, discovery order.
+    pub(crate) succs: Vec<usize>,
+}
+
+/// One captured node: a reachable local state of one processor.
+pub(crate) struct FpNode<P: Protocol> {
+    /// The state value itself.
+    pub(crate) state: P::State,
+    /// Stable `Debug` rendering (the table key).
+    pub(crate) key: String,
+    /// The state's decision, if decided (decided nodes have no branches:
+    /// the executor never schedules a decided processor).
+    pub(crate) decided: Option<Val>,
+    /// The `choose` branches in branch order.
+    pub(crate) branches: Vec<FpBranch<P>>,
+}
+
+/// The captured per-processor transition graph, merged over every audited
+/// input value.
+pub(crate) struct FpGraph<P: Protocol> {
+    /// Nodes in discovery order (BFS from each input's init, inputs in
+    /// audit order).
+    pub(crate) nodes: Vec<FpNode<P>>,
+    /// Whether the capture covered the whole reachable graph.
+    pub(crate) complete: bool,
+}
+
+/// The full capture: one graph per processor plus the final register
+/// alphabets the walk converged to.
+pub(crate) struct Capture<P: Protocol> {
+    pub(crate) graphs: Vec<FpGraph<P>>,
+    pub(crate) alphabets: Alphabets<P::Reg>,
+    /// Alphabet fixpoint converged and every graph is complete.
+    pub(crate) complete: bool,
+}
+
+/// Captures the per-processor graphs of `auditor`'s protocol against the
+/// converged alphabets.
+pub(crate) fn capture<P: Protocol>(auditor: &Auditor<'_, P>) -> Capture<P> {
+    let (alphabets, alpha_complete) = auditor.fixpoint_alphabets();
+    let protocol = auditor.protocol;
+    let n = protocol.processes();
+    // The walker budget is per (processor, input); the merged graph gets the
+    // same total allowance.
+    let budget = auditor
+        .max_states
+        .saturating_mul(auditor.inputs.len().max(1));
+    let mut graphs = Vec::with_capacity(n);
+    for pid in 0..n {
+        let mut nodes: Vec<FpNode<P>> = Vec::new();
+        let mut index: HashMap<P::State, usize> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut complete = true;
+        for &input in &auditor.inputs {
+            let Ok(init) = quiet_catch(|| protocol.init(pid, input)) else {
+                continue;
+            };
+            if !index.contains_key(&init) {
+                let idx = nodes.len();
+                index.insert(init.clone(), idx);
+                nodes.push(FpNode {
+                    key: format!("{init:?}"),
+                    state: init,
+                    decided: None,
+                    branches: Vec::new(),
+                });
+                queue.push_back(idx);
+            }
+        }
+        let mut expanded = 0usize;
+        while let Some(at) = queue.pop_front() {
+            if expanded >= budget {
+                complete = false;
+                break;
+            }
+            expanded += 1;
+            let state = nodes[at].state.clone();
+            let decided = quiet_catch(|| protocol.decision(&state)).ok().flatten();
+            nodes[at].decided = decided;
+            if decided.is_some() {
+                // Decided processors are never scheduled again: their
+                // footprint is empty by the model's "decide and quit".
+                continue;
+            }
+            let Ok(choice) = quiet_catch(|| protocol.choose(pid, &state)) else {
+                continue;
+            };
+            let mut branches = Vec::with_capacity(choice.branches().len());
+            for (_, op) in choice.branches() {
+                let access = RegAccess {
+                    reg: op.reg().0,
+                    write: op.is_write(),
+                };
+                let reads: Vec<Option<P::Reg>> = if op.is_write() {
+                    vec![None]
+                } else {
+                    match alphabets.get(&op.reg()) {
+                        Some((values, _)) => values.iter().cloned().map(Some).collect(),
+                        None => Vec::new(),
+                    }
+                };
+                let mut succs = Vec::new();
+                for read in reads {
+                    let Ok(t) = quiet_catch(|| protocol.transit(pid, &state, op, read.as_ref()))
+                    else {
+                        // The walker notes these as possibly-unreachable
+                        // read values; the footprint simply has no edge.
+                        continue;
+                    };
+                    for (_, succ) in t.branches() {
+                        let idx = match index.get(succ) {
+                            Some(&i) => i,
+                            None => {
+                                let i = nodes.len();
+                                index.insert(succ.clone(), i);
+                                nodes.push(FpNode {
+                                    key: format!("{succ:?}"),
+                                    state: succ.clone(),
+                                    decided: None,
+                                    branches: Vec::new(),
+                                });
+                                queue.push_back(i);
+                                i
+                            }
+                        };
+                        if !succs.contains(&idx) {
+                            succs.push(idx);
+                        }
+                    }
+                }
+                branches.push(FpBranch {
+                    op: op.clone(),
+                    access,
+                    succs,
+                });
+            }
+            nodes[at].branches = branches;
+        }
+        if !queue.is_empty() {
+            complete = false;
+        }
+        graphs.push(FpGraph { nodes, complete });
+    }
+    let complete = alpha_complete && graphs.iter().all(|g| g.complete);
+    Capture {
+        graphs,
+        alphabets,
+        complete,
+    }
+}
+
+/// The footprint of one `choose` branch of one state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchFootprint {
+    /// Branch index into the state's `choose` distribution.
+    pub branch: usize,
+    /// The access the branch's own operation performs.
+    pub first: RegAccess,
+    /// Every access reachable once this branch is taken (including
+    /// `first`), sorted.
+    pub reachable: Vec<RegAccess>,
+}
+
+/// The footprint of one reachable local state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateFootprint {
+    /// `Debug` rendering of the state (the lookup key).
+    pub state: String,
+    /// Whether the state is decided (empty footprint: decided processors
+    /// quit).
+    pub decided: bool,
+    /// Per-coin-branch footprints, branch order.
+    pub branches: Vec<BranchFootprint>,
+    /// Union of the branch footprints, sorted.
+    pub reachable: Vec<RegAccess>,
+}
+
+impl StateFootprint {
+    /// The possible first-step accesses of the state (one per branch,
+    /// deduplicated, branch order).
+    pub fn first_accesses(&self) -> Vec<RegAccess> {
+        let mut out = Vec::new();
+        for b in &self.branches {
+            if !out.contains(&b.first) {
+                out.push(b.first);
+            }
+        }
+        out
+    }
+}
+
+/// One processor's footprints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcFootprint {
+    /// The processor.
+    pub pid: usize,
+    /// Footprints of every reachable state, discovery order.
+    pub states: Vec<StateFootprint>,
+}
+
+/// The per-protocol footprint table: for every processor, every reachable
+/// local state, and every coin branch, the set of register accesses any
+/// continuation can perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintTable {
+    /// Protocol display name.
+    pub protocol: String,
+    /// Number of processors.
+    pub processes: usize,
+    /// Number of declared registers.
+    pub registers: usize,
+    /// Whether the table covers the whole reachable graph. An incomplete
+    /// table is still an over-approximation *of the states it lists*, but
+    /// states beyond the budget are absent — consumers must treat lookups
+    /// that miss as "unknown".
+    pub complete: bool,
+    /// Per-processor footprints.
+    pub procs: Vec<ProcFootprint>,
+}
+
+/// Computes the footprint table for `auditor`'s protocol (same inputs and
+/// budgets as the audit itself).
+pub fn footprints<P: Protocol>(auditor: &Auditor<'_, P>) -> FootprintTable {
+    let cap = capture(auditor);
+    table_from(auditor.protocol, &cap)
+}
+
+pub(crate) fn table_from<P: Protocol>(protocol: &P, cap: &Capture<P>) -> FootprintTable {
+    let mut procs = Vec::with_capacity(cap.graphs.len());
+    for (pid, graph) in cap.graphs.iter().enumerate() {
+        // Closure fixpoint: reachable(n) = ∪_b {access_b} ∪ reachable(succs_b).
+        let mut reach: Vec<BTreeSet<RegAccess>> =
+            graph.nodes.iter().map(|_| BTreeSet::new()).collect();
+        loop {
+            let mut changed = false;
+            for (i, node) in graph.nodes.iter().enumerate().rev() {
+                let mut next = reach[i].clone();
+                for b in &node.branches {
+                    next.insert(b.access);
+                    for &s in &b.succs {
+                        next.extend(reach[s].iter().copied());
+                    }
+                }
+                if next.len() != reach[i].len() {
+                    reach[i] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let states = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let branches = node
+                    .branches
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, b)| {
+                        let mut set: BTreeSet<RegAccess> = BTreeSet::new();
+                        set.insert(b.access);
+                        for &s in &b.succs {
+                            set.extend(reach[s].iter().copied());
+                        }
+                        BranchFootprint {
+                            branch: bi,
+                            first: b.access,
+                            reachable: set.into_iter().collect(),
+                        }
+                    })
+                    .collect();
+                StateFootprint {
+                    state: node.key.clone(),
+                    decided: node.decided.is_some(),
+                    branches,
+                    reachable: reach[i].iter().copied().collect(),
+                }
+            })
+            .collect();
+        procs.push(ProcFootprint { pid, states });
+    }
+    FootprintTable {
+        protocol: protocol.name(),
+        processes: protocol.processes(),
+        registers: protocol.registers().len(),
+        complete: cap.complete,
+        procs,
+    }
+}
+
+impl FootprintTable {
+    /// Looks up one state's footprint.
+    pub fn state(&self, pid: usize, key: &str) -> Option<&StateFootprint> {
+        self.procs.get(pid)?.states.iter().find(|s| s.state == key)
+    }
+
+    /// Whether `access` is in the reachable footprint of *any* state of
+    /// `pid` — the per-processor access universe.
+    pub fn covers(&self, pid: usize, access: RegAccess) -> bool {
+        self.procs.get(pid).is_some_and(|p| {
+            p.states
+                .iter()
+                .any(|s| s.reachable.binary_search(&access).is_ok())
+        })
+    }
+
+    /// Flattens the table into plain tuples — `(pid, state key, first-step
+    /// accesses, reachable accesses)` with accesses as `(register,
+    /// is_write)` — the dependency-free interchange format `cil-conc`'s
+    /// `StaticIndep::insert_state` consumes.
+    #[allow(clippy::type_complexity)]
+    pub fn flat_states(
+        &self,
+    ) -> impl Iterator<Item = (usize, &str, Vec<(usize, bool)>, Vec<(usize, bool)>)> + '_ {
+        self.procs.iter().flat_map(|proc| {
+            proc.states.iter().map(move |s| {
+                let first: Vec<(usize, bool)> = s
+                    .first_accesses()
+                    .into_iter()
+                    .map(|a| (a.reg, a.write))
+                    .collect();
+                let reach: Vec<(usize, bool)> =
+                    s.reachable.iter().map(|a| (a.reg, a.write)).collect();
+                (proc.pid, s.state.as_str(), first, reach)
+            })
+        })
+    }
+
+    /// Renders the table in a stable human-readable format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("footprint: {}\n", self.protocol));
+        out.push_str(&format!("  processes: {}\n", self.processes));
+        out.push_str(&format!("  registers: {}\n", self.registers));
+        out.push_str(&format!(
+            "  coverage:  {}\n",
+            if self.complete { "complete" } else { "bounded" }
+        ));
+        let fmt_set = |set: &[RegAccess]| {
+            set.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        for proc in &self.procs {
+            out.push_str(&format!("  P{}:\n", proc.pid));
+            for s in &proc.states {
+                if s.decided {
+                    out.push_str(&format!("    {} -> decided (no accesses)\n", s.state));
+                    continue;
+                }
+                out.push_str(&format!(
+                    "    {} -> {{{}}}\n",
+                    s.state,
+                    fmt_set(&s.reachable)
+                ));
+                for b in &s.branches {
+                    out.push_str(&format!(
+                        "      branch {}: {} -> {{{}}}\n",
+                        b.branch,
+                        b.first,
+                        fmt_set(&b.reachable)
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the table as one JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        let access_arr = |set: &[RegAccess]| {
+            let mut out = String::from("[");
+            for (i, a) in set.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(
+                    &ObjWriter::new()
+                        .num("reg", a.reg as u64)
+                        .num("write", u64::from(a.write))
+                        .finish(),
+                );
+            }
+            out.push(']');
+            out
+        };
+        let mut procs = String::from("[");
+        for (pi, proc) in self.procs.iter().enumerate() {
+            if pi > 0 {
+                procs.push(',');
+            }
+            let mut states = String::from("[");
+            for (si, s) in proc.states.iter().enumerate() {
+                if si > 0 {
+                    states.push(',');
+                }
+                let mut branches = String::from("[");
+                for (bi, b) in s.branches.iter().enumerate() {
+                    if bi > 0 {
+                        branches.push(',');
+                    }
+                    branches.push_str(
+                        &ObjWriter::new()
+                            .num("branch", b.branch as u64)
+                            .raw("first", &access_arr(std::slice::from_ref(&b.first)))
+                            .raw("reachable", &access_arr(&b.reachable))
+                            .finish(),
+                    );
+                }
+                branches.push(']');
+                states.push_str(
+                    &ObjWriter::new()
+                        .str("state", &s.state)
+                        .num("decided", u64::from(s.decided))
+                        .raw("branches", &branches)
+                        .raw("reachable", &access_arr(&s.reachable))
+                        .finish(),
+                );
+            }
+            states.push(']');
+            procs.push_str(
+                &ObjWriter::new()
+                    .num("pid", proc.pid as u64)
+                    .raw("states", &states)
+                    .finish(),
+            );
+        }
+        procs.push(']');
+        ObjWriter::new()
+            .str("footprint", &self.protocol)
+            .num("processes", self.processes as u64)
+            .num("registers", self.registers as u64)
+            .num("complete", u64::from(self.complete))
+            .raw("procs", &procs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cil_core::two::TwoProcessor;
+    use cil_obs::json::parse_value;
+
+    #[test]
+    fn two_processor_footprints_are_exact() {
+        let p = TwoProcessor::new();
+        let table = footprints(&Auditor::new(&p));
+        assert!(table.complete);
+        assert_eq!(table.processes, 2);
+        // P0's Start state writes r0 first and can reach reads of r1 and
+        // further writes of r0 — never an access to r1 as a writer.
+        let start = table.state(0, "Start { input: Val(0) }").expect("start");
+        assert_eq!(
+            start.first_accesses(),
+            vec![RegAccess {
+                reg: 0,
+                write: true
+            }]
+        );
+        assert!(start.reachable.contains(&RegAccess {
+            reg: 1,
+            write: false
+        }));
+        assert!(!start.reachable.contains(&RegAccess {
+            reg: 1,
+            write: true
+        }));
+        // Decided states have empty footprints.
+        let decided = table
+            .state(0, "Decided { value: Val(0) }")
+            .expect("decided");
+        assert!(decided.decided);
+        assert!(decided.reachable.is_empty());
+    }
+
+    #[test]
+    fn branch_footprints_start_with_their_own_access() {
+        let p = TwoProcessor::new();
+        let table = footprints(&Auditor::new(&p));
+        for proc in &table.procs {
+            for s in &proc.states {
+                for b in &s.branches {
+                    assert!(
+                        b.reachable.contains(&b.first),
+                        "P{} {} branch {}",
+                        proc.pid,
+                        s.state,
+                        b.branch
+                    );
+                }
+                for b in &s.branches {
+                    for a in &b.reachable {
+                        assert!(s.reachable.contains(a), "branch ⊆ state footprint");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_workspace_parser() {
+        let p = TwoProcessor::new();
+        let table = footprints(&Auditor::new(&p));
+        let node = parse_value(&table.to_json()).expect("valid JSON");
+        let obj = node.as_obj().expect("object");
+        assert_eq!(obj["processes"].as_num(), Some(2));
+        assert_eq!(obj["procs"].as_arr().map(<[_]>::len), Some(2));
+    }
+}

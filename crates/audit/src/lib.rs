@@ -22,6 +22,21 @@
 //! - [`mutants`] plants one violation per check into the §4 protocol so
 //!   tests (and `cil audit mutant:<name>`) can watch each check fire.
 //!
+//! On top of the walker's graph sit three further static layers:
+//!
+//! - [`footprint`] computes, per (processor, local state, coin branch), the
+//!   exact set of `(register, read|write)` accesses reachable from that
+//!   state — the table that lets the DPOR explorer (`cil-conc`) replace its
+//!   conservative wake-on-anything fallback with static independence.
+//! - [`lints`] runs dataflow passes over that graph — dead writes,
+//!   never-read registers, statically stuck states, wasted register width,
+//!   fictitious coins — surfaced as `cil lint`, with model-compliant seeded
+//!   [`mutants`] proving each pass fires.
+//! - [`prove`] proves agreement and validity over the exact product
+//!   configuration graph (BMC for refutations with replayable schedules,
+//!   reach-set closure as a 1-inductive invariant for proofs) and emits
+//!   JSON certificates an independent checker re-verifies — `cil prove`.
+//!
 //! Diagnostics ([`Violation`]) name the violated paper clause, the
 //! processor, the state and the step, so a rejected protocol is debuggable
 //! without re-running anything.
@@ -30,11 +45,19 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod footprint;
 pub mod hb;
+pub mod lints;
 pub mod mutants;
+pub mod prove;
 pub mod walker;
 
 pub use diag::{Clause, Violation};
+pub use footprint::{
+    footprints, BranchFootprint, FootprintTable, ProcFootprint, RegAccess, StateFootprint,
+};
 pub use hb::{reg_meta, RegMeta, TraceAnomaly, TraceAuditor, TraceReport};
-pub use mutants::{MutantKind, MutantTwo};
+pub use lints::{lint, lint_with_footprints, LintCode, LintFinding, LintReport};
+pub use mutants::{LintMutant, LintMutantTwo, MutantKind, MutantTwo};
+pub use prove::{check_certificate, CertCheck, Counterexample, ProveOutcome, ProveReport, Prover};
 pub use walker::{AuditReport, Auditor};

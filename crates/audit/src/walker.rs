@@ -56,7 +56,7 @@ thread_local! {
 /// Runs `f`, catching panics; panic output is suppressed while `f` runs.
 ///
 /// Returns the panic payload rendered as a string on unwind.
-fn quiet_catch<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+pub(crate) fn quiet_catch<R>(f: impl FnOnce() -> R) -> Result<R, String> {
     use std::sync::Once;
     static INSTALL: Once = Once::new();
     INSTALL.call_once(|| {
@@ -146,6 +146,49 @@ impl AuditReport {
         }
         out
     }
+
+    /// Serializes the report as one JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        use cil_obs::json::{escape, ObjWriter};
+        let mut violations = String::from("[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                violations.push(',');
+            }
+            violations.push_str(
+                &ObjWriter::new()
+                    .str("clause", v.clause.key())
+                    .num("pid", v.pid as u64)
+                    .str("state", &v.state)
+                    .num("step", v.step)
+                    .str("detail", &v.detail)
+                    .finish(),
+            );
+        }
+        violations.push(']');
+        let mut notes = String::from("[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                notes.push(',');
+            }
+            notes.push('"');
+            notes.push_str(&escape(n));
+            notes.push('"');
+        }
+        notes.push(']');
+        ObjWriter::new()
+            .str("audit", &self.protocol)
+            .num("processes", self.processes as u64)
+            .num("registers", self.registers as u64)
+            .num("passes", u64::from(self.passes))
+            .num("states", self.states as u64)
+            .num("edges", self.edges)
+            .num("complete", u64::from(self.complete))
+            .raw("violations", &violations)
+            .raw("notes", &notes)
+            .str("result", if self.ok() { "pass" } else { "fail" })
+            .finish()
+    }
 }
 
 impl fmt::Display for AuditReport {
@@ -163,11 +206,11 @@ impl fmt::Display for AuditReport {
 /// assert!(report.ok(), "{report}");
 /// ```
 pub struct Auditor<'p, P: Protocol> {
-    protocol: &'p P,
-    inputs: Vec<Val>,
-    max_states: usize,
+    pub(crate) protocol: &'p P,
+    pub(crate) inputs: Vec<Val>,
+    pub(crate) max_states: usize,
     max_passes: u32,
-    packer: Option<Packer<'p, P::Reg>>,
+    pub(crate) packer: Option<Packer<'p, P::Reg>>,
 }
 
 /// A caller-supplied register-value-to-machine-word packing function.
@@ -175,10 +218,10 @@ type Packer<'p, R> = Box<dyn Fn(&R) -> u64 + 'p>;
 
 /// One register's observable alphabet: values in discovery order (for
 /// deterministic reports) plus a membership set.
-type RegAlphabet<R> = (Vec<R>, HashSet<R>);
+pub(crate) type RegAlphabet<R> = (Vec<R>, HashSet<R>);
 
 /// Every register's alphabet, keyed by register id.
-type Alphabets<R> = HashMap<RegId, RegAlphabet<R>>;
+pub(crate) type Alphabets<R> = HashMap<RegId, RegAlphabet<R>>;
 
 /// Register specs indexed by id.
 type SpecIndex<'a, R> = HashMap<RegId, &'a RegisterSpec<R>>;
@@ -279,6 +322,39 @@ impl<'p, P: Protocol> Auditor<'p, P> {
             }
         }
         report
+    }
+
+    /// Runs the observable-alphabet fixpoint alone — no diagnostics — and
+    /// returns the final alphabets plus whether they converged within the
+    /// pass bound with every walk complete. This is the substrate the
+    /// footprint analysis ([`crate::footprint`]) extends: the alphabets are
+    /// exactly those of the last [`run`](Auditor::run) pass, so footprints
+    /// and audit diagnostics describe the same over-approximated graph.
+    pub(crate) fn fixpoint_alphabets(&self) -> (Alphabets<P::Reg>, bool) {
+        let specs = self.protocol.registers();
+        let by_id: SpecIndex<'_, P::Reg> = specs.iter().map(|s| (s.id, s)).collect();
+        let mut alphabet: Alphabets<P::Reg> = specs
+            .iter()
+            .map(|s| {
+                let mut set = HashSet::new();
+                set.insert(s.init.clone());
+                (s.id, (vec![s.init.clone()], set))
+            })
+            .collect();
+        let n = self.protocol.processes();
+        let mut passes = 0u32;
+        loop {
+            passes += 1;
+            let sizes: Vec<usize> = specs.iter().map(|s| alphabet[&s.id].0.len()).collect();
+            let pass = self.walk_pass(n, &by_id, &mut alphabet);
+            let grew = specs
+                .iter()
+                .zip(&sizes)
+                .any(|(s, &before)| alphabet[&s.id].0.len() != before);
+            if !grew || passes >= self.max_passes {
+                return (alphabet, pass.complete && !grew);
+            }
+        }
     }
 
     /// Clause 0: the register specification itself.

@@ -11,7 +11,7 @@
 
 use cil_conc::{
     classify, ddmin_schedule, explore, rerun_trial_with_codec, stress, ControlledRun, DporConfig,
-    Pct, RacyTwo, RandomWalk, ReplaySchedule, StrategySpec, StressConfig,
+    Pct, RacyTwo, RandomWalk, ReplaySchedule, StaticIndep, StrategySpec, StressConfig,
 };
 use cil_core::two::TwoProcessor;
 use cil_obs::json::ObjWriter;
@@ -114,11 +114,31 @@ struct DporSmoke {
     depth_bound: u64,
     naive_executions: u64,
     sleep_executions: u64,
+    static_executions: u64,
+    static_misses: u64,
     reduction_ratio: f64,
     digest: u64,
     hunt_runs: u64,
     minimal_repro_len: usize,
     certificate: String,
+}
+
+/// The statically computed access footprints of `protocol`, converted to
+/// the explorer's table (the same bridge `cil conc explore --static-indep`
+/// uses).
+fn static_indep_table<P: cil_sim::Protocol>(protocol: &P) -> StaticIndep {
+    let auditor = cil_audit::Auditor::new(protocol);
+    let table = cil_audit::footprints(&auditor);
+    assert!(
+        table.complete,
+        "footprint walk must converge for {}",
+        table.protocol
+    );
+    let mut statics = StaticIndep::new(table.processes);
+    for (pid, state, first, reachable) in table.flat_states() {
+        statics.insert_state(pid, state, first, reachable);
+    }
+    statics
 }
 
 /// The exhaustive half of the report: the planted mutant must fall to the
@@ -168,10 +188,43 @@ fn check_dpor() -> DporSmoke {
     );
     assert_eq!(sleep.decision_vectors, naive.decision_vectors);
     assert_eq!(sleep.terminal_configs, naive.terminal_configs);
+
+    // Sleep sets strengthened with the static access footprints: identical
+    // outcome sets and digest, never more executions, and every access the
+    // scheduler observed inside the static table (zero misses).
+    let statics = explore(
+        &p,
+        &inputs,
+        &DporConfig {
+            static_indep: Some(std::sync::Arc::new(static_indep_table(&p))),
+            ..no_hunt
+        },
+        None,
+    );
+    assert!(statics.certified());
+    assert_eq!(
+        statics.digest, sleep.digest,
+        "static indep must not change outcomes"
+    );
+    assert_eq!(statics.decision_vectors, sleep.decision_vectors);
+    assert_eq!(statics.terminal_configs, sleep.terminal_configs);
+    assert!(
+        statics.executions <= sleep.executions,
+        "static footprints must not weaken the reduction: {} vs {}",
+        statics.executions,
+        sleep.executions
+    );
+    assert_eq!(
+        statics.footprint_misses, 0,
+        "footprints must over-approximate"
+    );
+
     DporSmoke {
         depth_bound: depth,
         naive_executions: naive.executions,
         sleep_executions: sleep.executions,
+        static_executions: statics.executions,
+        static_misses: statics.footprint_misses,
         reduction_ratio: sleep.executions as f64 / naive.executions as f64,
         digest: sleep.digest,
         hunt_runs: hunt_report.runs,
@@ -199,6 +252,8 @@ fn write_report(s: &Smoke, d: &DporSmoke) {
         .num("dpor_depth_bound", d.depth_bound)
         .num("dpor_naive_executions", d.naive_executions)
         .num("dpor_sleep_executions", d.sleep_executions)
+        .num("dpor_static_executions", d.static_executions)
+        .num("dpor_static_misses", d.static_misses)
         .raw("dpor_reduction_ratio", &format!("{:.4}", d.reduction_ratio))
         .str("dpor_digest", &format!("{:016x}", d.digest))
         .num("dpor_hunt_runs", d.hunt_runs)

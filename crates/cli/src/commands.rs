@@ -3,11 +3,14 @@
 use crate::args::{parse_inputs, Args};
 use crate::CliFailure;
 use cil_analysis::fnum;
-use cil_audit::{AuditReport, Auditor, MutantKind, MutantTwo, TraceAuditor};
+use cil_audit::{
+    check_certificate, lint_with_footprints, AuditReport, Auditor, FootprintTable, LintMutant,
+    LintMutantTwo, LintReport, MutantKind, MutantTwo, ProveOutcome, Prover, TraceAuditor,
+};
 use cil_conc::{
     classify, cross_validate, ddmin_schedule, rerun_trial_with_codec, stress_timed_with_codec,
-    ControlledRun, DporConfig, DporReport, DporTiming, GateTimingAgg, RacyTwo, ReplaySchedule,
-    StrategySpec, StressConfig,
+    ConcOutcome, ControlledRun, DporConfig, DporReport, DporTiming, GateTimingAgg, RacyTwo,
+    ReplaySchedule, StaticIndep, StrategySpec, StressConfig,
 };
 use cil_core::apps::{elect_leader, MutexLog};
 use cil_core::deterministic::{DetRule, DetTwo};
@@ -47,10 +50,24 @@ USAGE:
                 capture and verify the regenerated event stream byte-for-byte;
                 --audit additionally verifies the capture is a serialization
                 of atomic register operations (happens-before audit)
-  cil audit     [<P>|all|mutant:<M>]               static model-compliance
+  cil audit     [<P>|all|mutant:<M>] [--json]      static model-compliance
                 analysis: walk the per-processor transition graph and check
                 access sets, width bounds, coin measures, decision stability
                 and purity against the paper's §2 / Theorem 6 clauses
+  cil lint      [<P>|all|mutant:<M>] [--json] [--footprints]   dataflow lints
+                over the same transition graph: dead writes, never-read
+                registers, statically stuck states, wasted register width,
+                fictitious coins; --footprints also prints the per-state
+                static access-footprint table; any finding exits 1
+  cil prove     [<P>] [--cert <file>] [--json] [--domain 0,1,..]
+                [--max-configs N]                  prove agreement + validity
+                over the exact product configuration graph (BFS reach-set as
+                a 1-inductive invariant); PROVED emits a cil-cert-v1
+                certificate via --cert; REFUTED exits 1 with a replayable
+                counterexample schedule (ddmin-shrunk on native threads)
+  cil prove     --check-cert <file> [<P>]          re-verify a certificate
+                with the independent checker (protocol inferred from the
+                certificate when <P> is omitted)
   cil sweep     --protocol <P> --inputs a,b[,..] [--adversary <A>] [--trials N]
                 [--seed N] [--max-steps N] [--jobs N] [--progress]
                 [--metrics-out <file>] [--metrics-format json|openmetrics]
@@ -90,7 +107,8 @@ USAGE:
                 [--strategy <S>] [--seed N] [--budget N]   delta-debug a
                 failing stress trial's schedule to a 1-minimal repro
   cil conc explore --protocol <P> --inputs a,b[,..] [--depth-bound D]
-                [--jobs N] [--naive] [--no-hunt] [--cross-check] [--progress]
+                [--jobs N] [--naive] [--no-hunt] [--static-indep]
+                [--cross-check] [--progress]
                 [--metrics-out <file>] [--metrics-format F] [--timings]
                 exhaustive DPOR: enumerate every
                 interleaving and coin outcome to depth D on real threads,
@@ -98,9 +116,13 @@ USAGE:
                 after a bounded-preemption hunt pass (--no-hunt skips it);
                 --cross-check verifies the enumerated outcome sets
                 config-for-config against the simulator's configuration
-                graph. A violation exits 1 with a ddmin 1-minimal repro; a
-                clean pass prints an exhaustive-to-depth-D certificate with
-                a jobs-invariant execution digest
+                graph; --static-indep precomputes `cil lint`'s access
+                footprints so threads slept before their first access was
+                observed wake only on statically dependent steps (identical
+                digest, never more executions). A violation exits 1 with a
+                ddmin 1-minimal repro; a clean pass prints an
+                exhaustive-to-depth-D certificate with a jobs-invariant
+                execution digest
   cil help
 
 PROTOCOLS <P>: two | fig2 | fig2-literal | fig2-1w1r | fig3 | naive
@@ -129,9 +151,13 @@ OBSERVABILITY: --progress renders a live rate/ETA (sweep) or per-level BFS
 MUTANTS <M>: width-overflow | unauthorized-reader | unstable-decision
       | non-normalized-coin — the two-processor protocol with one planted
       model violation each; `cil audit mutant:<M>` must reject all four.
+      Lint mutants: dead-write | width-waste — model-compliant (audit
+      passes) but each fires its `cil lint` pass.
 EXIT CODES: 0 = success; 1 = verification failed (`cil audit` found model
-      violations, `cil replay` found trace anomalies or divergence — the
-      report is printed on stdout); 2 = usage or I/O error (stderr).
+      violations, `cil lint` found findings, `cil prove` refuted a property
+      or rejected a certificate, `cil replay` found trace anomalies or
+      divergence — the report is printed on stdout); 2 = usage or I/O
+      error (stderr).
 "
     .to_string()
 }
@@ -562,16 +588,29 @@ fn audit_one(spec: &str) -> Result<AuditReport, String> {
                 .run()
         }
         s if s.starts_with("mutant:") => {
-            let kind = MutantKind::parse(&s["mutant:".len()..]).ok_or_else(|| {
-                format!(
-                    "unknown mutant in '{s}' (one of: {})",
-                    MutantKind::all().map(|k| k.key()).join(" | ")
-                )
-            })?;
-            Auditor::new(&MutantTwo::new(kind)).with_packable().run()
+            let key = &s["mutant:".len()..];
+            if let Some(kind) = MutantKind::parse(key) {
+                Auditor::new(&MutantTwo::new(kind)).with_packable().run()
+            } else if let Some(kind) = LintMutant::parse(key) {
+                Auditor::new(&LintMutantTwo::new(kind))
+                    .with_packable()
+                    .run()
+            } else {
+                return Err(unknown_mutant(s));
+            }
         }
         other => return Err(format!("unknown protocol '{other}' (see cil help)")),
     })
+}
+
+/// The error for an unrecognized `mutant:<M>` spec, listing both mutant
+/// families (model mutants and lint mutants).
+fn unknown_mutant(spec: &str) -> String {
+    format!(
+        "unknown mutant in '{spec}' (one of: {} | {})",
+        MutantKind::all().map(|k| k.key()).join(" | "),
+        LintMutant::all().map(|k| k.key()).join(" | ")
+    )
 }
 
 /// The specs `cil audit all` covers: every built-in protocol family,
@@ -605,19 +644,25 @@ pub fn audit(args: &Args) -> Result<String, CliFailure> {
     } else {
         vec![spec.as_str()]
     };
+    let json = args.flag("json");
     let mut out = String::new();
     let mut failed = 0usize;
     for (i, s) in specs.iter().enumerate() {
-        if i > 0 {
+        if i > 0 && !json {
             out.push('\n');
         }
         let report = audit_one(s).map_err(CliFailure::Usage)?;
         if !report.ok() {
             failed += 1;
         }
-        out.push_str(&report.render());
+        if json {
+            out.push_str(&report.to_json());
+            out.push('\n');
+        } else {
+            out.push_str(&report.render());
+        }
     }
-    if specs.len() > 1 {
+    if specs.len() > 1 && !json {
         let _ = writeln!(
             out,
             "\n{}/{} protocols pass the model-compliance audit",
@@ -630,6 +675,359 @@ pub fn audit(args: &Args) -> Result<String, CliFailure> {
     } else {
         Ok(out)
     }
+}
+
+/// Lints one protocol spec, returning the report together with the
+/// footprint table the passes were computed from. Same construction as
+/// [`audit_one`] (same inputs, budgets and packers), so the lint verdicts
+/// describe exactly the graph the audit walked.
+fn lint_one(spec: &str) -> Result<(LintReport, FootprintTable), String> {
+    Ok(match spec {
+        "two" => lint_with_footprints(&Auditor::new(&TwoProcessor::new()).with_packable()),
+        "fig2" => lint_with_footprints(
+            &Auditor::new(&NUnbounded::three())
+                .with_packable()
+                .with_max_states(UNBOUNDED_WALK_STATES),
+        ),
+        "fig2-literal" => lint_with_footprints(
+            &Auditor::new(&NUnbounded::literal_fig2(3))
+                .with_packable()
+                .with_max_states(UNBOUNDED_WALK_STATES),
+        ),
+        "fig2-1w1r" => lint_with_footprints(
+            &Auditor::new(&NUnbounded1W1R::three())
+                .with_packable()
+                .with_max_states(UNBOUNDED_WALK_STATES),
+        ),
+        "fig3" => lint_with_footprints(&Auditor::new(&ThreeBounded::new()).with_packable()),
+        "naive" => lint_with_footprints(&Auditor::new(&Naive::new(3)).with_packable()),
+        s if s.starts_with("det:") => {
+            let rule = parse_rule(&s["det:".len()..])?;
+            lint_with_footprints(&Auditor::new(&DetTwo::new(rule)).with_packable())
+        }
+        s if s.starts_with("n:") => {
+            let n: usize = s[2..]
+                .parse()
+                .map_err(|_| format!("bad processor count in '{s}'"))?;
+            lint_with_footprints(
+                &Auditor::new(&NUnbounded::new(n))
+                    .with_packable()
+                    .with_max_states(UNBOUNDED_WALK_STATES),
+            )
+        }
+        s if s.starts_with("kvalued:") => {
+            let k: u64 = s["kvalued:".len()..]
+                .parse()
+                .map_err(|_| format!("bad k in '{s}'"))?;
+            lint_with_footprints(
+                &Auditor::new(&KValued::new(TwoProcessor::new(), k))
+                    .with_inputs((0..k.max(2)).map(Val))
+                    .with_packer(|r: &KReg<cil_core::two::TwoReg>| match r {
+                        KReg::Inner(inner) => inner.pack(),
+                        KReg::Cand(c) => c.map_or(0, |v| v + 1),
+                    }),
+            )
+        }
+        s if s.starts_with("mutant:") => {
+            let key = &s["mutant:".len()..];
+            if let Some(kind) = LintMutant::parse(key) {
+                lint_with_footprints(&Auditor::new(&LintMutantTwo::new(kind)).with_packable())
+            } else if let Some(kind) = MutantKind::parse(key) {
+                lint_with_footprints(&Auditor::new(&MutantTwo::new(kind)).with_packable())
+            } else {
+                return Err(unknown_mutant(s));
+            }
+        }
+        other => return Err(format!("unknown protocol '{other}' (see cil help)")),
+    })
+}
+
+/// `cil lint [<P>|all|mutant:<M>] [--json] [--footprints]` — dataflow lints
+/// over the symbolic transition graph.
+///
+/// # Errors
+///
+/// [`CliFailure::Audit`] (exit 1) when any linted protocol has findings;
+/// [`CliFailure::Usage`] (exit 2) for unknown specs.
+pub fn lint(args: &Args) -> Result<String, CliFailure> {
+    let spec = args
+        .pos(0)
+        .or_else(|| args.get("protocol"))
+        .unwrap_or("all")
+        .to_string();
+    let specs: Vec<&str> = if spec == "all" {
+        AUDIT_ALL.to_vec()
+    } else {
+        vec![spec.as_str()]
+    };
+    let json = args.flag("json");
+    let want_footprints = args.flag("footprints");
+    let mut out = String::new();
+    let mut failed = 0usize;
+    for (i, s) in specs.iter().enumerate() {
+        if i > 0 && !json {
+            out.push('\n');
+        }
+        let (report, table) = lint_one(s).map_err(CliFailure::Usage)?;
+        if !report.ok() {
+            failed += 1;
+        }
+        if json {
+            out.push_str(&report.to_json());
+            out.push('\n');
+            if want_footprints {
+                out.push_str(&table.to_json());
+                out.push('\n');
+            }
+        } else {
+            out.push_str(&report.render());
+            if want_footprints {
+                out.push('\n');
+                out.push_str(&table.render());
+            }
+        }
+    }
+    if specs.len() > 1 && !json {
+        let _ = writeln!(
+            out,
+            "\n{}/{} protocols are lint-clean",
+            specs.len() - failed,
+            specs.len()
+        );
+    }
+    if failed > 0 {
+        Err(CliFailure::Audit(out))
+    } else {
+        Ok(out)
+    }
+}
+
+macro_rules! with_prove_protocol {
+    ($spec:expr, $args:expr, $f:ident) => {{
+        let spec: &str = $spec;
+        let args = $args;
+        match spec {
+            "two" => $f(&TwoProcessor::new(), &PackCodec, args),
+            "fig2" => $f(&NUnbounded::three(), &PackCodec, args),
+            "fig2-literal" => $f(&NUnbounded::literal_fig2(3), &PackCodec, args),
+            "fig2-1w1r" => $f(&NUnbounded1W1R::three(), &PackCodec, args),
+            "fig3" => $f(&ThreeBounded::new(), &PackCodec, args),
+            "naive" => $f(&Naive::new(2), &PackCodec, args),
+            "mutant:racy" => $f(&RacyTwo::default(), &PackCodec, args),
+            s if s.starts_with("det:") => {
+                let rule = parse_rule(&s["det:".len()..]).map_err(CliFailure::Usage)?;
+                $f(&DetTwo::new(rule), &PackCodec, args)
+            }
+            s if s.starts_with("n:") => {
+                let n: usize = s[2..]
+                    .parse()
+                    .map_err(|_| CliFailure::Usage(format!("bad processor count in '{s}'")))?;
+                $f(&NUnbounded::new(n), &PackCodec, args)
+            }
+            s if s.starts_with("kvalued:") => {
+                let k: u64 = s["kvalued:".len()..]
+                    .parse()
+                    .map_err(|_| CliFailure::Usage(format!("bad k in '{s}'")))?;
+                let p = KValued::new(TwoProcessor::new(), k);
+                let codec = KRegCodec::for_protocol(&p);
+                $f(&p, &codec, args)
+            }
+            other => Err(CliFailure::Usage(format!(
+                "unknown protocol '{other}' (see cil help)"
+            ))),
+        }
+    }};
+}
+
+/// The specs [`prove`] can infer a checked certificate's protocol from, by
+/// matching the `protocol` name embedded in the certificate.
+fn prove_spec_candidates() -> Vec<String> {
+    let mut specs: Vec<String> = [
+        "two",
+        "fig2",
+        "fig2-literal",
+        "fig2-1w1r",
+        "fig3",
+        "naive",
+        "mutant:racy",
+    ]
+    .map(String::from)
+    .to_vec();
+    specs.extend((2..=8).map(|n| format!("n:{n}")));
+    specs.extend((2..=8).map(|k| format!("kvalued:{k}")));
+    for rule in [
+        "always-adopt",
+        "always-keep",
+        "adopt-if-greater",
+        "alternate",
+    ] {
+        specs.push(format!("det:{rule}"));
+    }
+    specs
+}
+
+/// `Protocol::name()` of a prove spec, used to map certificates back to
+/// protocol instances.
+fn prove_proto_name<P, C>(protocol: &P, _codec: &C, _args: &Args) -> Result<String, CliFailure>
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+    C: WordCodec<P::Reg>,
+{
+    Ok(protocol.name())
+}
+
+/// Resolves a prove spec to its protocol's display name.
+fn prove_spec_name(spec: &str, args: &Args) -> Result<String, CliFailure> {
+    with_prove_protocol!(spec, args, prove_proto_name)
+}
+
+/// Runs [`check_certificate`] for one protocol instance against the
+/// certificate text passed through `--check-cert` (re-read here).
+fn prove_check_one<P, C>(protocol: &P, _codec: &C, args: &Args) -> Result<String, CliFailure>
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+    C: WordCodec<P::Reg>,
+{
+    let path = args.get("check-cert").expect("caller checked");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    match check_certificate(protocol, &text) {
+        Ok(check) => Ok(format!("{check}\n")),
+        Err(e) => Err(CliFailure::Audit(format!(
+            "certificate check FAILED: {e}\n"
+        ))),
+    }
+}
+
+/// Runs the prover for one protocol instance: BFS reach-set closure per
+/// input assignment, safety checked at every insertion. On REFUTED the
+/// counterexample schedule is replayed on native threads (best-effort) and
+/// ddmin-shrunk when it reproduces.
+fn prove_run<P, C>(protocol: &P, codec: &C, args: &Args) -> Result<String, CliFailure>
+where
+    P: Protocol + Sync,
+    P::Reg: Send + Sync,
+    C: WordCodec<P::Reg>,
+{
+    let domain = match args.get("domain") {
+        Some(d) => parse_inputs(d)?,
+        None => vec![Val::A, Val::B],
+    };
+    if domain.is_empty() {
+        return Err(CliFailure::Usage(
+            "--domain needs at least one value".into(),
+        ));
+    }
+    let max_configs = args.get_u64("max-configs", 262_144)? as usize;
+    let report = Prover::new(protocol)
+        .with_domain(domain)
+        .with_max_configs(max_configs)
+        .run();
+    let json = args.flag("json");
+    let mut out = if json {
+        let mut s = report.to_json();
+        s.push('\n');
+        s
+    } else {
+        report.render()
+    };
+    if let ProveOutcome::Refuted(cex) = &report.outcome {
+        if !json {
+            let inputs = cex.inputs.clone();
+            let schedule = cex.schedule();
+            let budget = (schedule.len() as u64).max(4) * 2;
+            let failing = |candidate: &[usize]| {
+                let run: ConcOutcome = ControlledRun::new(protocol, &inputs)
+                    .seed(0)
+                    .budget(budget)
+                    .run_with_codec(
+                        codec,
+                        Box::new(ReplaySchedule::best_effort(candidate.to_vec())),
+                    );
+                match cex.property {
+                    "agreement" => !run.consistent(),
+                    _ => !run.nontrivial(),
+                }
+            };
+            if failing(&schedule) {
+                let minimal = ddmin_schedule(&schedule, failing);
+                let _ = writeln!(
+                    out,
+                    "  native replay (best-effort schedule): reproduces the violation"
+                );
+                let _ = writeln!(
+                    out,
+                    "  1-minimal repro (ddmin): {} steps — {minimal:?}",
+                    minimal.len()
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  (schedule-only native replay does not reproduce this \
+                     counterexample — it depends on forced coin branches)"
+                );
+            }
+        }
+        return Err(CliFailure::Audit(out));
+    }
+    if let Some(path) = args.get("cert") {
+        let Some(cert) = report.certificate() else {
+            return Err(CliFailure::Usage(
+                "--cert: no certificate — the result was BOUNDED, not PROVED \
+                 (raise --max-configs)"
+                    .into(),
+            ));
+        };
+        std::fs::write(path, &cert)
+            .map_err(|e| format!("cannot write --cert file '{path}': {e}"))?;
+        if !json {
+            let _ = writeln!(out, "certificate: {path} ({} bytes)", cert.len());
+        }
+    }
+    Ok(out)
+}
+
+/// `cil prove [<P>] [--cert <file>] [--json] [--domain ..] [--max-configs N]`
+/// / `cil prove --check-cert <file> [<P>]` — safety proofs with
+/// certificates.
+///
+/// # Errors
+///
+/// [`CliFailure::Audit`] (exit 1) when a property is refuted or a
+/// certificate fails to verify; [`CliFailure::Usage`] (exit 2) for unknown
+/// specs, unreadable files, or `--cert` without a PROVED result.
+pub fn prove(args: &Args) -> Result<String, CliFailure> {
+    let explicit = args.pos(0).or_else(|| args.get("protocol"));
+    if let Some(path) = args.get("check-cert") {
+        let spec = match explicit {
+            Some(s) => s.to_string(),
+            None => {
+                // Infer the protocol from the certificate's embedded name.
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read '{path}': {e}"))?;
+                let node = json::parse_value(&text)
+                    .map_err(|e| format!("malformed certificate JSON: {e}"))?;
+                let name = node
+                    .as_obj()
+                    .and_then(|o| o.get("protocol"))
+                    .and_then(json::Node::as_str)
+                    .ok_or_else(|| "certificate has no protocol field".to_string())?
+                    .to_string();
+                prove_spec_candidates()
+                    .into_iter()
+                    .find(|s| prove_spec_name(s, args).is_ok_and(|n| n == name))
+                    .ok_or_else(|| {
+                        CliFailure::Usage(format!(
+                            "cannot map certificate protocol '{name}' to a spec; pass it \
+                             explicitly: cil prove --check-cert {path} <P>"
+                        ))
+                    })?
+            }
+        };
+        return with_prove_protocol!(spec.as_str(), args, prove_check_one);
+    }
+    with_prove_protocol!(explicit.unwrap_or("two"), args, prove_run)
 }
 
 fn sweep_one<P: Protocol + Sync + 'static>(protocol: &P, args: &Args) -> Result<String, String>
@@ -1793,6 +2191,29 @@ where
 {
     let inputs = parse_inputs(args.get_or("inputs", ""))?;
     conc_check_arity(protocol, &inputs)?;
+    let static_indep = if args.flag("static-indep") {
+        // The lint layer's footprint table, walked with this run's inputs,
+        // converted to the explorer's dependency-free table. Only a
+        // complete (fully converged) walk over-approximates every native
+        // execution, so a bounded walk is a usage error, not a silent
+        // soundness hole.
+        let auditor = Auditor::new(protocol).with_inputs(inputs.iter().copied());
+        let table = cil_audit::footprints(&auditor);
+        if !table.complete {
+            return Err(CliFailure::Usage(format!(
+                "--static-indep: the footprint walk of {} did not converge \
+                 (coverage bounded); static independence needs a complete table",
+                protocol.name()
+            )));
+        }
+        let mut statics = StaticIndep::new(table.processes);
+        for (pid, state, first, reachable) in table.flat_states() {
+            statics.insert_state(pid, state, first, reachable);
+        }
+        Some(std::sync::Arc::new(statics))
+    } else {
+        None
+    };
     let defaults = DporConfig::default();
     let cfg = DporConfig {
         depth_bound: args.get_u64("depth-bound", defaults.depth_bound)?,
@@ -1803,6 +2224,7 @@ where
         } else {
             defaults.hunt_preemptions
         },
+        static_indep,
         ..defaults
     };
     let meter = args
@@ -1847,6 +2269,8 @@ where
         },
         if report.naive {
             "none (naive enumeration)"
+        } else if report.static_indep {
+            "sleep-set + static footprints"
         } else {
             "sleep-set"
         }
@@ -1872,6 +2296,18 @@ where
             "frontier subtrees: {}   total steps: {}",
             report.frontier_roots, report.steps_total
         );
+        if report.static_indep {
+            let _ = writeln!(
+                s,
+                "static footprints: {} misses{}",
+                report.footprint_misses,
+                if report.footprint_misses == 0 {
+                    " (every observed access inside the static table) ✓"
+                } else {
+                    " — the table FAILED to over-approximate the execution ✗"
+                }
+            );
+        }
         let depths = match (
             report.depth_histogram.keys().next(),
             report.depth_histogram.keys().next_back(),

@@ -6,6 +6,10 @@
 //! ```text
 //! cil run       --protocol fig2 --inputs a,b,a --adversary random --seed 7
 //!               [--trace] [--trace-json out.jsonl]
+//! cil audit     [two|all|mutant:width-overflow] [--json]
+//! cil lint      [two|all|mutant:dead-write] [--json] [--footprints]
+//! cil prove     two [--cert out.json] [--json] [--domain 0,1] [--max-configs N]
+//! cil prove     --check-cert out.json
 //! cil replay    out.jsonl
 //! cil sweep     --protocol fig2 --inputs a,b,a --trials 10000 --seed 7 --jobs 4
 //!               [--progress] [--metrics-out m.json] [--metrics-format json|openmetrics]
@@ -20,7 +24,8 @@
 //! cil conc      replay out.jsonl [--audit]
 //! cil conc      shrink --protocol mutant:racy --inputs a,b --trial 3
 //! cil conc      explore mutant:racy --inputs a,b [--depth-bound 24] [--jobs 4]
-//!               [--naive] [--no-hunt] [--cross-check] [--progress]
+//!               [--naive] [--no-hunt] [--static-indep] [--cross-check]
+//!               [--progress]
 //! cil report    <capture.jsonl | metrics.json> [--merge f2,f3] [--flame]
 //! cil help
 //! ```
@@ -96,6 +101,9 @@ pub fn dispatch_full<I: IntoIterator<Item = String>>(tokens: I) -> Result<String
             "cross-check",
             "timings",
             "flame",
+            "json",
+            "footprints",
+            "static-indep",
         ],
     )
     .map_err(CliFailure::Usage)?;
@@ -104,6 +112,8 @@ pub fn dispatch_full<I: IntoIterator<Item = String>>(tokens: I) -> Result<String
         "run" => usage(commands::run(&args)),
         "replay" => commands::replay(&args),
         "audit" => commands::audit(&args),
+        "lint" => commands::lint(&args),
+        "prove" => commands::prove(&args),
         "sweep" => usage(commands::sweep(&args)),
         "check" => usage(commands::check(&args)),
         "mdp" => usage(commands::mdp(&args)),
@@ -145,6 +155,9 @@ mod tests {
         for c in [
             "run",
             "replay",
+            "audit",
+            "lint",
+            "prove",
             "sweep",
             "check",
             "mdp",
@@ -164,6 +177,13 @@ mod tests {
             "--progress",
             "--stats",
             "--compat-dense",
+            "--json",
+            "--footprints",
+            "--static-indep",
+            "--cert",
+            "--check-cert",
+            "--domain",
+            "--max-configs",
         ] {
             assert!(h.contains(c), "help missing {c}");
         }
@@ -175,8 +195,8 @@ mod tests {
         assert!(e.contains("unknown command"));
         // The usage text must list every current subcommand.
         for c in [
-            "run", "replay", "sweep", "check", "mdp", "survival", "theorem4", "elect", "threads",
-            "conc", "report",
+            "run", "replay", "audit", "lint", "prove", "sweep", "check", "mdp", "survival",
+            "theorem4", "elect", "threads", "conc", "report",
         ] {
             assert!(e.contains(c), "usage missing {c}");
         }

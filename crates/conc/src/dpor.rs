@@ -38,7 +38,7 @@
 //! `--jobs`.
 
 use crate::coordinator::ConcHalt;
-use crate::indep::{Access, AccessSet};
+use crate::indep::{stays_asleep, Access, AccessSet, StaticIndep};
 use crate::run::{ConcOutcome, ControlledRun};
 use crate::strategy::Strategy;
 use crate::stress::{classify, GateTimingAgg};
@@ -70,6 +70,12 @@ pub struct DporConfig {
     pub split_depth: u64,
     /// Violating executions to keep as samples (the rest are only counted).
     pub max_violation_samples: usize,
+    /// Statically computed access footprints (from `cil-audit`'s footprint
+    /// table). When present, sleeping threads whose first access was never
+    /// observed use the static first-step union instead of the conservative
+    /// wake-on-anything fallback, and every observed access is validated
+    /// against the static universe ([`DporReport::footprint_misses`]).
+    pub static_indep: Option<Arc<StaticIndep>>,
 }
 
 impl Default for DporConfig {
@@ -81,6 +87,7 @@ impl Default for DporConfig {
             hunt_preemptions: Some(2),
             split_depth: 3,
             max_violation_samples: 8,
+            static_indep: None,
         }
     }
 }
@@ -138,6 +145,13 @@ pub struct DporReport {
     pub jobs: usize,
     /// Whether the sleep-set reduction was disabled.
     pub naive: bool,
+    /// Whether static access footprints backed the sleep sets.
+    pub static_indep: bool,
+    /// Observed accesses outside the static footprint table's universe.
+    /// Non-zero means the table failed to over-approximate the native
+    /// execution — a soundness bug in the analysis. Always zero without
+    /// [`DporConfig::static_indep`].
+    pub footprint_misses: u64,
     /// Hunt-pass summary, when one ran.
     pub hunt: Option<HuntReport>,
     /// Whether the exhaustive pass ran to completion. `false` only when the
@@ -219,6 +233,8 @@ struct RunTrace {
     steps: Vec<StepObs>,
     blocked: Option<Block>,
     diverged: bool,
+    /// Observed accesses outside the static footprint universe.
+    footprint_misses: u64,
 }
 
 /// The strategy that drives one exploration run: replays a directive
@@ -232,6 +248,8 @@ struct Directed {
     /// Remaining preemption budget *after* the directive prefix (hunt pass
     /// only; `None` = unbounded).
     budget: Option<u32>,
+    /// Static footprints backing empty sleep entries (plus validation).
+    statics: Option<Arc<StaticIndep>>,
     prev: Option<usize>,
     cur: usize,
     shared: Arc<Mutex<RunTrace>>,
@@ -322,19 +340,27 @@ impl Strategy for Directed {
         Some(taken)
     }
 
-    fn observe(&mut self, _pid: usize, reg: usize, write: bool) {
+    fn observe(&mut self, pid: usize, reg: usize, write: bool) {
         let access = Access { reg, write };
         let mut tr = self.trace();
         let s = tr.steps.len().saturating_sub(1);
         if let Some(obs) = tr.steps.last_mut() {
             obs.access = access;
         }
+        // Validate the static over-approximation: every access the native
+        // run performs must be inside the stepping pid's footprint universe.
+        if let Some(statics) = &self.statics {
+            if !statics.covers(pid, access) {
+                tr.footprint_misses += 1;
+            }
+        }
         drop(tr);
         // The branch node's sleep set becomes relevant from the last
         // directive step onward; earlier wakes are baked into it already.
         if s + 1 >= self.directives.len() {
+            let statics = self.statics.as_deref();
             self.sleep
-                .retain(|(_, set)| !set.is_empty() && !set.wakes_on(access));
+                .retain(|(q, set)| stays_asleep(statics, *q, set, access));
         }
     }
 }
@@ -411,6 +437,7 @@ struct Tally {
     bound_cut: u64,
     steps_total: u64,
     digest: u64,
+    footprint_misses: u64,
     violations: u64,
     samples: Vec<DporViolation>,
     decision_vectors: BTreeSet<Vec<u64>>,
@@ -423,6 +450,7 @@ impl Tally {
     fn record(&mut self, outcome: &ConcOutcome, trace: &RunTrace, sample_cap: usize) -> bool {
         self.executions += 1;
         self.steps_total += outcome.total_steps;
+        self.footprint_misses += trace.footprint_misses;
         match outcome.halt {
             ConcHalt::Done => {
                 self.complete += 1;
@@ -473,6 +501,7 @@ impl Tally {
         self.bound_cut += other.bound_cut;
         self.steps_total += other.steps_total;
         self.digest ^= other.digest;
+        self.footprint_misses += other.footprint_misses;
         self.violations += other.violations;
         for s in other.samples {
             if self.samples.len() < sample_cap {
@@ -535,6 +564,7 @@ struct Ctx<'a, P, C> {
     hunt_budget: Option<u32>,
     stop_on_violation: bool,
     sample_cap: usize,
+    statics: Option<Arc<StaticIndep>>,
     progress: Option<&'a (dyn Fn(u64) + Sync)>,
     timing: Option<&'a DporTiming>,
 }
@@ -630,6 +660,7 @@ where
             directives,
             sleep: sleep0,
             budget: budget0,
+            statics: ctx.statics.clone(),
             prev: None,
             cur: 0,
             shared: Arc::clone(&shared),
@@ -696,7 +727,9 @@ where
                 };
                 let filtered: Vec<(usize, AccessSet)> = psleep
                     .into_iter()
-                    .filter(|(_, set)| !set.is_empty() && !set.wakes_on(prev_obs.access))
+                    .filter(|(q, set)| {
+                        stays_asleep(ctx.statics.as_deref(), *q, set, prev_obs.access)
+                    })
                     .collect();
                 (filtered, pbudget, Some(prev_obs.pid))
             };
@@ -900,6 +933,8 @@ where
         depth_bound: cfg.depth_bound,
         jobs: cfg.jobs,
         naive: cfg.naive,
+        static_indep: cfg.static_indep.is_some(),
+        footprint_misses: 0,
         hunt: None,
         exhaustive: false,
         frontier_roots: 0,
@@ -925,6 +960,7 @@ where
             hunt_budget: Some(c),
             stop_on_violation: true,
             sample_cap: cfg.max_violation_samples,
+            statics: cfg.static_indep.clone(),
             progress,
             timing,
         };
@@ -944,8 +980,10 @@ where
         if found {
             report.violations = hunt.violations;
             report.violation_samples = hunt.samples;
+            report.footprint_misses = hunt.footprint_misses;
             return report;
         }
+        report.footprint_misses += hunt.footprint_misses;
     }
     let ctx = Ctx {
         protocol,
@@ -956,6 +994,7 @@ where
         hunt_budget: None,
         stop_on_violation: false,
         sample_cap: cfg.max_violation_samples,
+        statics: cfg.static_indep.clone(),
         progress,
         timing,
     };
@@ -979,6 +1018,7 @@ where
     report.sleep_blocked = tally.sleep_blocked;
     report.steps_total = tally.steps_total;
     report.digest = tally.digest;
+    report.footprint_misses += tally.footprint_misses;
     report.violations += tally.violations;
     report.violation_samples.extend(tally.samples);
     report.violation_samples.truncate(cfg.max_violation_samples);
@@ -1216,6 +1256,73 @@ mod tests {
             assert_eq!(r.digest, base.digest, "jobs={jobs}");
             assert_eq!(r.executions, base.executions, "jobs={jobs}");
             assert_eq!(r.violations, base.violations, "jobs={jobs}");
+        }
+    }
+
+    fn static_indep_for<P: Protocol>(p: &P) -> Arc<StaticIndep> {
+        let table = cil_audit::footprints(&cil_audit::Auditor::new(p));
+        assert!(table.complete, "footprints must cover the whole graph");
+        let mut si = StaticIndep::new(table.processes);
+        for (pid, key, first, reach) in table.flat_states() {
+            si.insert_state(pid, key, first, reach);
+        }
+        Arc::new(si)
+    }
+
+    #[test]
+    fn static_indep_matches_the_dynamic_baseline_with_zero_misses() {
+        let p = TwoProcessor::new();
+        let inputs = [Val::A, Val::B];
+        let dynamic = explore(&p, &inputs, &no_hunt(10), None);
+        let statics = explore(
+            &p,
+            &inputs,
+            &DporConfig {
+                static_indep: Some(static_indep_for(&p)),
+                ..no_hunt(10)
+            },
+            None,
+        );
+        assert!(statics.static_indep && !dynamic.static_indep);
+        assert_eq!(statics.footprint_misses, 0, "footprints over-approximate");
+        // Outcome sets and digest are byte-identical; the static fallback
+        // only ever *tightens* wake conditions on otherwise-unknowable
+        // entries, and validated entries are never empty here.
+        assert_eq!(statics.digest, dynamic.digest);
+        assert_eq!(statics.decision_vectors, dynamic.decision_vectors);
+        assert_eq!(statics.terminal_configs, dynamic.terminal_configs);
+        assert!(statics.executions <= dynamic.executions);
+        assert_eq!(statics.violations, 0);
+    }
+
+    #[test]
+    fn static_indep_digest_is_jobs_invariant() {
+        let p = TwoProcessor::new();
+        let inputs = [Val::A, Val::B];
+        let si = static_indep_for(&p);
+        let base = explore(
+            &p,
+            &inputs,
+            &DporConfig {
+                static_indep: Some(Arc::clone(&si)),
+                ..no_hunt(10)
+            },
+            None,
+        );
+        for jobs in [2, 5] {
+            let r = explore(
+                &p,
+                &inputs,
+                &DporConfig {
+                    jobs,
+                    static_indep: Some(Arc::clone(&si)),
+                    ..no_hunt(10)
+                },
+                None,
+            );
+            assert_eq!(r.digest, base.digest, "jobs={jobs}");
+            assert_eq!(r.executions, base.executions, "jobs={jobs}");
+            assert_eq!(r.footprint_misses, 0, "jobs={jobs}");
         }
     }
 

@@ -72,6 +72,120 @@ impl AccessSet {
     }
 }
 
+/// Statically computed access footprints, one per processor: the possible
+/// **first-step** accesses from any reachable local state, the **universe**
+/// of accesses the processor can ever perform, and the per-state first-step
+/// sets.
+///
+/// Produced from `cil-audit`'s footprint table (the CLI and tests convert;
+/// this crate deliberately doesn't depend on the analyzer). The explorer
+/// uses it two ways:
+///
+/// - a sleeping thread whose dynamic [`AccessSet`] is empty (its first
+///   access was never observed at that node) no longer wakes on *anything*
+///   — it wakes exactly when an executed access is dependent with the
+///   processor's static first-step union, which over-approximates whatever
+///   its actual next access is;
+/// - every access the controlled scheduler observes is checked against the
+///   processor's static universe ([`StaticIndep::covers`]); a miss means
+///   the footprint table failed to over-approximate the native execution
+///   and is reported as `footprint_misses` (must be zero).
+#[derive(Debug, Clone, Default)]
+pub struct StaticIndep {
+    /// Per pid: union of first-step accesses over every reachable state.
+    first: Vec<AccessSet>,
+    /// Per pid: union of reachable accesses over every reachable state.
+    all: Vec<AccessSet>,
+    /// Per pid: `Debug`-rendered local state -> first-step access set.
+    by_state: Vec<std::collections::HashMap<String, AccessSet>>,
+}
+
+impl StaticIndep {
+    /// An empty table for `processes` processors.
+    pub fn new(processes: usize) -> Self {
+        StaticIndep {
+            first: vec![AccessSet::new(); processes],
+            all: vec![AccessSet::new(); processes],
+            by_state: vec![std::collections::HashMap::new(); processes],
+        }
+    }
+
+    /// Records one reachable state's footprint: its possible first-step
+    /// accesses and every access reachable from it, both as
+    /// `(register, is_write)` tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn insert_state(
+        &mut self,
+        pid: usize,
+        state: &str,
+        first: impl IntoIterator<Item = (usize, bool)>,
+        reachable: impl IntoIterator<Item = (usize, bool)>,
+    ) {
+        let mut state_first = AccessSet::new();
+        for (reg, write) in first {
+            let access = Access { reg, write };
+            state_first.insert(access);
+            self.first[pid].insert(access);
+        }
+        for (reg, write) in reachable {
+            self.all[pid].insert(Access { reg, write });
+        }
+        self.by_state[pid].insert(state.to_string(), state_first);
+    }
+
+    /// Number of processors the table covers.
+    pub fn processes(&self) -> usize {
+        self.first.len()
+    }
+
+    /// The union of possible first-step accesses of `pid` over every
+    /// reachable state. Empty when the table has no data for `pid` —
+    /// consumers must then stay conservative.
+    pub fn first_for(&self, pid: usize) -> &AccessSet {
+        static EMPTY: AccessSet = AccessSet(Vec::new());
+        self.first.get(pid).unwrap_or(&EMPTY)
+    }
+
+    /// The first-step access set of one specific state, if known.
+    pub fn state_first(&self, pid: usize, state: &str) -> Option<&AccessSet> {
+        self.by_state.get(pid)?.get(state)
+    }
+
+    /// Whether `access` is inside `pid`'s static access universe — the
+    /// validity check that the footprints over-approximate the native
+    /// execution.
+    pub fn covers(&self, pid: usize, access: Access) -> bool {
+        self.all.get(pid).is_some_and(|set| set.0.contains(&access))
+    }
+}
+
+/// The sleep-retention predicate with an optional static fallback: a
+/// sleeping `pid` with a known (non-empty) dynamic first-access set stays
+/// asleep iff `access` is independent of it; with an *empty* set, the
+/// static table's first-step union substitutes — and only if the table has
+/// no data either does the thread wake unconditionally (the original
+/// conservative fallback).
+pub fn stays_asleep(
+    statics: Option<&StaticIndep>,
+    pid: usize,
+    set: &AccessSet,
+    access: Access,
+) -> bool {
+    if !set.is_empty() {
+        return !set.wakes_on(access);
+    }
+    match statics {
+        Some(table) => {
+            let first = table.first_for(pid);
+            !first.is_empty() && !first.wakes_on(access)
+        }
+        None => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +223,38 @@ mod tests {
         assert!(!s.wakes_on(r(0)));
         s.insert(r(1));
         assert_eq!(s.iter().count(), 2, "insert dedups");
+    }
+
+    #[test]
+    fn static_table_substitutes_for_empty_dynamic_sets() {
+        let mut table = StaticIndep::new(2);
+        table.insert_state(0, "S", [(0, true)], [(0, true), (1, false)]);
+        let empty = AccessSet::new();
+        // Empty dynamic set + static data: wake only on dependence with the
+        // static first-step union.
+        assert!(stays_asleep(Some(&table), 0, &empty, r(1)));
+        assert!(!stays_asleep(Some(&table), 0, &empty, w(0)));
+        assert!(!stays_asleep(Some(&table), 0, &empty, r(0)), "read-write");
+        // No static data for pid 1: conservative wake-on-anything.
+        assert!(!stays_asleep(Some(&table), 1, &empty, r(7)));
+        // No table at all: the original fallback.
+        assert!(!stays_asleep(None, 0, &empty, r(7)));
+        // A non-empty dynamic set always wins over the table.
+        let mut dynamic = AccessSet::new();
+        dynamic.insert(r(2));
+        assert!(stays_asleep(Some(&table), 0, &dynamic, r(2)));
+        assert!(!stays_asleep(Some(&table), 0, &dynamic, w(2)));
+    }
+
+    #[test]
+    fn covers_checks_the_access_universe() {
+        let mut table = StaticIndep::new(1);
+        table.insert_state(0, "S", [(0, true)], [(0, true), (1, false)]);
+        assert!(table.covers(0, w(0)));
+        assert!(table.covers(0, r(1)));
+        assert!(!table.covers(0, r(0)), "a read of r0 was never declared");
+        assert!(!table.covers(0, w(1)));
+        assert_eq!(table.state_first(0, "S").map(|s| s.iter().count()), Some(1));
+        assert!(table.state_first(0, "missing").is_none());
     }
 }

@@ -55,7 +55,7 @@ pub use dpor::{
     cross_validate, explore, explore_timed_with_codec, explore_with_codec, CrossCheck, DporConfig,
     DporReport, DporTiming, DporViolation, HuntReport, TerminalConfig,
 };
-pub use indep::{Access, AccessSet};
+pub use indep::{stays_asleep, Access, AccessSet, StaticIndep};
 pub use mutant::{RacyState, RacyTwo};
 pub use run::{ConcOutcome, ControlledRun};
 pub use shrink::ddmin_schedule;

@@ -120,6 +120,44 @@ impl<P: Protocol> Config<P> {
 /// Panics if `pid` is not eligible (protocols must not be stepped past
 /// their decision state) or if the protocol operates on unknown registers.
 pub fn successors<P: Protocol>(protocol: &P, cfg: &Config<P>, pid: usize) -> Vec<(f64, Config<P>)> {
+    successors_indexed(protocol, cfg, pid)
+        .into_iter()
+        .map(|s| (s.probability, s.config))
+        .collect()
+}
+
+/// One outcome of [`successors_indexed`]: a successor configuration tagged
+/// with the exact coin branches that produce it.
+///
+/// The branch indices are the explorer-facing coordinates of the step: the
+/// DPOR explorer, `cil conc replay`, and the `cil prove` counterexample
+/// extractor all force coins by `(choose, transit)` branch index, so a path
+/// of `IndexedSuccessor`s is directly replayable.
+#[derive(Debug)]
+pub struct IndexedSuccessor<P: Protocol> {
+    /// Index into the `choose` branch list that picked the operation.
+    pub choose_idx: usize,
+    /// Index into the `transit` branch list that picked the next state.
+    pub transit_idx: usize,
+    /// Exact probability of this outcome.
+    pub probability: f64,
+    /// The successor configuration.
+    pub config: Config<P>,
+}
+
+/// Like [`successors`], but each outcome carries the `(choose, transit)`
+/// branch indices that produce it — the coordinates a controlled replay
+/// forces its coins with.
+///
+/// # Panics
+///
+/// Panics if `pid` is not eligible (protocols must not be stepped past
+/// their decision state) or if the protocol operates on unknown registers.
+pub fn successors_indexed<P: Protocol>(
+    protocol: &P,
+    cfg: &Config<P>,
+    pid: usize,
+) -> Vec<IndexedSuccessor<P>> {
     assert!(
         protocol.decision(&cfg.states[pid]).is_none(),
         "stepping a decided processor"
@@ -127,7 +165,7 @@ pub fn successors<P: Protocol>(protocol: &P, cfg: &Config<P>, pid: usize) -> Vec
     let mut out = Vec::new();
     let choice = protocol.choose(pid, &cfg.states[pid]);
     let op_total: f64 = choice.branches().iter().map(|&(w, _)| f64::from(w)).sum();
-    for (w_op, op) in choice.branches() {
+    for (ci, (w_op, op)) in choice.branches().iter().enumerate() {
         let p_op = f64::from(*w_op) / op_total;
         // Apply the operation to a copy of the registers.
         let mut regs = cfg.regs.clone();
@@ -140,18 +178,20 @@ pub fn successors<P: Protocol>(protocol: &P, cfg: &Config<P>, pid: usize) -> Vec
         };
         let tr = protocol.transit(pid, &cfg.states[pid], op, read_value.as_ref());
         let tr_total: f64 = tr.branches().iter().map(|&(w, _)| f64::from(w)).sum();
-        for (w_tr, next_state) in tr.branches() {
+        for (ti, (w_tr, next_state)) in tr.branches().iter().enumerate() {
             let p = p_op * f64::from(*w_tr) / tr_total;
             let mut states = cfg.states.clone();
             states[pid] = next_state.clone();
-            out.push((
-                p,
-                Config {
+            out.push(IndexedSuccessor {
+                choose_idx: ci,
+                transit_idx: ti,
+                probability: p,
+                config: Config {
                     states,
                     regs: regs.clone(),
                     active: cfg.active | (1 << pid),
                 },
-            ));
+            });
         }
     }
     out

@@ -50,7 +50,7 @@ pub use bivalence::{construct_infinite_schedule, InfiniteScheduleDemo};
 pub use compact::{
     CompactExplorer, CompactMdp, CompactOptions, CompactPolicyAdversary, CompactStats,
 };
-pub use config::{is_deterministic, successors, Config};
+pub use config::{is_deterministic, successors, successors_indexed, Config, IndexedSuccessor};
 pub use explore::{Explorer, LevelStats, Report, Violation};
 pub use lookahead::{min_decide_prob, LookaheadAdversary};
 pub use mdp::{MdpSolver, Objective, PolicyAdversary, Solve};
