@@ -1,0 +1,174 @@
+//! Throughput bench for `cil-serve`, the batched decision engine.
+//!
+//! Hand-written harness (not `criterion_group!`): every invocation —
+//! including `cargo bench -p cil-bench --bench serve -- --test`, the CI
+//! smoke mode — first proves the determinism contract at load (shard-count
+//! invariance of the sweep digest and the decided-value distribution),
+//! then measures decided instances per second and service-latency
+//! percentiles and writes them to `BENCH_serve.json` at the repository
+//! root. Smoke mode runs a reduced instance count and gates on a
+//! conservative throughput floor; the full mode runs the paper-scale
+//! million-instance load.
+
+use cil_core::n_unbounded::NUnbounded;
+use cil_core::two::TwoProcessor;
+use cil_obs::json::ObjWriter;
+use cil_serve::{ServeEngine, ServeLimit, ServeReport};
+use cil_sim::threads::WordCodec;
+use cil_sim::{PackCodec, Protocol, Val};
+
+/// Throughput floor asserted in smoke mode (decisions/sec). Deliberately
+/// far below the real rate so CI only fails on order-of-magnitude
+/// regressions (an accidental allocation or lock on the step loop), not on
+/// shared-runner noise.
+const SMOKE_FLOOR: f64 = 50_000.0;
+
+/// Throughput target for the full paper-scale run (decisions/sec).
+const FULL_TARGET: f64 = 1_000_000.0;
+
+struct LoadRow {
+    name: &'static str,
+    report: ServeReport,
+}
+
+fn run_load<P, C>(
+    name: &'static str,
+    protocol: &P,
+    codec: &C,
+    inputs: &[Val],
+    instances: u64,
+) -> LoadRow
+where
+    P: Protocol + Sync,
+    P::State: Send,
+    C: WordCodec<P::Reg>,
+{
+    // Determinism at load: a sharded run must produce exactly the
+    // single-shard digest and decided-value counts on a small prefix.
+    let probe = instances.min(2_000);
+    let serial = ServeEngine::new(protocol, codec, inputs, ServeLimit::Instances(probe))
+        .root_seed(1)
+        .shards(1)
+        .run();
+    let sharded = ServeEngine::new(protocol, codec, inputs, ServeLimit::Instances(probe))
+        .root_seed(1)
+        .shards(4)
+        .slots(16)
+        .batch(8)
+        .run();
+    assert_eq!(
+        serial.stats.digest(),
+        sharded.stats.digest(),
+        "{name}: sharded digest diverged from the serial run"
+    );
+    assert_eq!(
+        serial.decided_values, sharded.decided_values,
+        "{name}: sharded decided-value counts diverged"
+    );
+
+    let report = ServeEngine::new(protocol, codec, inputs, ServeLimit::Instances(instances))
+        .root_seed(1)
+        .run();
+    assert_eq!(
+        report.stats.violations(),
+        0,
+        "{name}: safety violations at load"
+    );
+    let q = |q: f64| report.latency.quantile(q).map(|b| b.mid()).unwrap_or(0);
+    println!(
+        "serve/{:<8} instances={:>8} shards={} decided={} rate={:>12.0}/s p50={}ns p99={}ns",
+        name,
+        report.instances,
+        report.shards,
+        report.stats.decided,
+        report.decisions_per_sec(),
+        q(0.5),
+        q(0.99),
+    );
+    LoadRow { name, report }
+}
+
+/// Serializes the load rows to `BENCH_serve.json` at the repo root.
+fn write_report(rows: &[LoadRow], smoke: bool) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let mut protocols = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            protocols.push(',');
+        }
+        let r = &row.report;
+        let q = |q: f64| r.latency.quantile(q).map(|b| b.mid()).unwrap_or(0);
+        let obj = ObjWriter::new()
+            .str("protocol", row.name)
+            .num("instances", r.instances)
+            .num("shards", r.shards as u64)
+            .num("decided", r.stats.decided)
+            .num("undecided", r.stats.undecided)
+            .num("elapsed_ns", r.elapsed_ns)
+            .raw(
+                "decisions_per_sec",
+                &format!("{:.1}", r.decisions_per_sec()),
+            )
+            .num("latency_p50_ns", q(0.5))
+            .num("latency_p90_ns", q(0.9))
+            .num("latency_p99_ns", q(0.99))
+            .finish();
+        protocols.push_str(&obj);
+    }
+    protocols.push(']');
+    let report = ObjWriter::new()
+        .str("bench", "serve")
+        .str("mode", if smoke { "smoke" } else { "full" })
+        .raw("protocols", &protocols)
+        .finish();
+    std::fs::write(path, format!("{report}\n")).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (two_n, fig2_n, n4_n) = if smoke {
+        (50_000, 5_000, 2_000)
+    } else {
+        (1_000_000, 100_000, 50_000)
+    };
+    let rows = [
+        run_load(
+            "two",
+            &TwoProcessor::new(),
+            &PackCodec,
+            &[Val::A, Val::B],
+            two_n,
+        ),
+        run_load(
+            "fig2",
+            &NUnbounded::three(),
+            &PackCodec,
+            &[Val::A, Val::B, Val::A],
+            fig2_n,
+        ),
+        run_load(
+            "n:4",
+            &NUnbounded::new(4),
+            &PackCodec,
+            &[Val::A, Val::B, Val::A, Val::B],
+            n4_n,
+        ),
+    ];
+    write_report(&rows, smoke);
+
+    let two_rate = rows[0].report.decisions_per_sec();
+    assert!(
+        two_rate >= SMOKE_FLOOR,
+        "two-processor throughput {two_rate:.0}/s fell below the {SMOKE_FLOOR:.0}/s floor"
+    );
+    if smoke {
+        println!("serve bench smoke mode: determinism + floor checks passed");
+        return;
+    }
+    // The paper-scale bar: a million decided two-processor instances per
+    // second on commodity hardware ("implementable in existing technology").
+    if two_rate < FULL_TARGET {
+        println!("WARNING: two-processor rate {two_rate:.0}/s below the {FULL_TARGET:.0}/s target");
+    }
+}

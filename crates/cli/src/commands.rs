@@ -32,6 +32,7 @@ use cil_obs::{
     SpanTimer, SpanTree,
 };
 use cil_registers::Packable;
+use cil_serve::{ServeEngine, ServeLimit, ServeReport};
 use cil_sim::{
     parse_schedule, run_on_threads, Adversary, Alternator, BoxedAdversary, FixedSchedule,
     LaggardFirst, LeaderFirst, PackCodec, Protocol, RandomScheduler, Rng as _, RoundRobin, Runner,
@@ -123,6 +124,19 @@ USAGE:
                 ddmin 1-minimal repro; a clean pass prints an
                 exhaustive-to-depth-D certificate with a jobs-invariant
                 execution digest
+  cil serve     <P> [--instances N | --duration MS | --target-decisions N]
+                [--shards J] [--slots N] [--batch N] [--inputs a,b[,..]]
+                [--seed N] [--max-steps N] [--out <file>] [--progress]
+                [--metrics-out <file>] [--metrics-format F] [--timings]
+                coordination as a service: run N consensus instances to
+                decision over the hardware atomic-register backend on J
+                sharded arenas (allocation-free steady state), then report
+                decisions/sec and service-latency percentiles and write
+                them to BENCH_serve.json (--out; 'none' skips). --inputs
+                defaults to alternating a,b. With --instances, stats and
+                serve.* metric exports are a pure function of
+                (--seed, --instances) — byte-identical at any --shards;
+                --duration / --target-decisions are load-generator modes
   cil help
 
 PROTOCOLS <P>: two | fig2 | fig2-literal | fig2-1w1r | fig3 | naive
@@ -1696,6 +1710,237 @@ fn conc_protocol_spec(args: &Args) -> &str {
     args.get("protocol")
         .or_else(|| args.pos(1))
         .unwrap_or("two")
+}
+
+/// The serve protocol spec: the positional right after the subcommand
+/// (`cil serve fig2`), with `--protocol <P>` as the explicit form.
+fn serve_protocol_spec(args: &Args) -> &str {
+    args.get("protocol")
+        .or_else(|| args.pos(0))
+        .unwrap_or("two")
+}
+
+/// Like [`with_conc_protocol!`] minus the planted mutant: dispatches the
+/// serve engine over every built-in protocol spec with the word codec
+/// matching its register encoding.
+macro_rules! with_serve_protocol {
+    ($args:expr, $f:ident) => {{
+        let args = $args;
+        let spec = serve_protocol_spec(args);
+        let n_inputs = parse_inputs(args.get_or("inputs", ""))?.len();
+        match spec {
+            "two" => $f(&TwoProcessor::new(), &PackCodec, args),
+            "fig2" => $f(&NUnbounded::three(), &PackCodec, args),
+            "fig2-literal" => $f(&NUnbounded::literal_fig2(3), &PackCodec, args),
+            "fig2-1w1r" => $f(&NUnbounded1W1R::three(), &PackCodec, args),
+            "fig3" => $f(&ThreeBounded::new(), &PackCodec, args),
+            "naive" => $f(&Naive::new(n_inputs.max(2)), &PackCodec, args),
+            s if s.starts_with("det:") => {
+                let rule = parse_rule(&s["det:".len()..])?;
+                $f(&DetTwo::new(rule), &PackCodec, args)
+            }
+            s if s.starts_with("n:") => {
+                let n: usize = s[2..]
+                    .parse()
+                    .map_err(|_| format!("bad processor count in '{s}'"))?;
+                $f(&NUnbounded::new(n), &PackCodec, args)
+            }
+            s if s.starts_with("kvalued:") => {
+                let k: u64 = s["kvalued:".len()..]
+                    .parse()
+                    .map_err(|_| format!("bad k in '{s}'"))?;
+                if n_inputs <= 2 {
+                    let p = KValued::new(TwoProcessor::new(), k);
+                    let codec = KRegCodec::for_protocol(&p);
+                    $f(&p, &codec, args)
+                } else {
+                    let p = KValued::new(NUnbounded::new(n_inputs), k);
+                    let codec = KRegCodec::for_protocol(&p);
+                    $f(&p, &codec, args)
+                }
+            }
+            other => Err(format!("unknown protocol '{other}' (see cil help)")),
+        }
+    }};
+}
+
+/// `cil serve` — run consensus instances to decision at scale over the
+/// hardware register backend and report throughput + latency percentiles.
+pub fn serve(args: &Args) -> Result<String, String> {
+    with_serve_protocol!(args, serve_one)
+}
+
+/// Picks the admission limit from `--instances` / `--duration` /
+/// `--target-decisions` (mutually exclusive; default 100 000 instances).
+fn serve_limit(args: &Args) -> Result<ServeLimit, String> {
+    let given = ["instances", "duration", "target-decisions"]
+        .iter()
+        .filter(|k| args.get(k).is_some())
+        .count();
+    if given > 1 {
+        return Err(
+            "pick one of --instances, --duration, --target-decisions (they are \
+             mutually exclusive admission limits)"
+                .into(),
+        );
+    }
+    if args.get("duration").is_some() {
+        return Ok(ServeLimit::Duration(std::time::Duration::from_millis(
+            args.get_u64("duration", 0)?,
+        )));
+    }
+    if args.get("target-decisions").is_some() {
+        return Ok(ServeLimit::Decisions(args.get_u64("target-decisions", 0)?));
+    }
+    Ok(ServeLimit::Instances(args.get_u64("instances", 100_000)?))
+}
+
+fn serve_one<P, C>(protocol: &P, codec: &C, args: &Args) -> Result<String, String>
+where
+    P: Protocol + Sync,
+    P::State: Send,
+    C: WordCodec<P::Reg>,
+{
+    let inputs = match args.get("inputs") {
+        Some(text) => {
+            let inputs = parse_inputs(text)?;
+            if inputs.len() != protocol.processes() {
+                return Err(format!(
+                    "--inputs: expected {} values for {}, got {}",
+                    protocol.processes(),
+                    protocol.name(),
+                    inputs.len()
+                ));
+            }
+            inputs
+        }
+        // Default load: alternating inputs, so both decision values show up.
+        None => (0..protocol.processes())
+            .map(|i| if i % 2 == 0 { Val::A } else { Val::B })
+            .collect(),
+    };
+    let limit = serve_limit(args)?;
+    let root_seed = args.get_u64("seed", 0)?;
+    let shards = args.get_u64("shards", 0)? as usize;
+    let slots = args.get_u64("slots", cil_serve::DEFAULT_SLOTS as u64)? as usize;
+    let batch = args.get_u64("batch", cil_serve::DEFAULT_BATCH)?;
+    let max_steps = args.get_u64("max-steps", cil_serve::DEFAULT_MAX_STEPS)?;
+    if slots == 0 || batch == 0 {
+        return Err("--slots and --batch must be at least 1".into());
+    }
+    let timings = timings_flag(args)?;
+    let registry = Registry::new();
+    let observer = (args.flag("progress") || args.get("metrics-out").is_some()).then(|| {
+        let mut obs = SweepObserver::with_prefix(&registry, "serve");
+        if args.flag("progress") {
+            let total = match limit {
+                ServeLimit::Instances(n) => Some(n),
+                _ => None,
+            };
+            obs = obs.with_progress(ProgressMeter::new("serve", total));
+        }
+        if timings {
+            obs = obs.with_timing(&registry, "serve");
+        }
+        obs
+    });
+    let engine = ServeEngine::new(protocol, codec, &inputs, limit)
+        .root_seed(root_seed)
+        .shards(shards)
+        .slots(slots)
+        .batch(batch)
+        .max_steps(max_steps);
+    let report = engine.run_observed(observer.as_ref());
+    report.export_decided_values(&registry);
+    if timings {
+        merge_sweep_spans(
+            &registry,
+            "serve",
+            "serve.trial_ns",
+            report.instances,
+            report.elapsed_ns,
+        );
+    }
+    write_metrics_out(args, &registry)?;
+    let out_path = args.get_or("out", "BENCH_serve.json");
+    if out_path != "none" {
+        write_bench_serve(out_path, &protocol.name(), &report)?;
+    }
+
+    let q = |q: f64| report.latency.quantile(q).map(|b| b.mid()).unwrap_or(0);
+    let mut s = String::new();
+    let _ = writeln!(s, "protocol : {}", protocol.name());
+    let _ = writeln!(
+        s,
+        "limit    : {:?}   root seed: {root_seed}   shards: {}   slots/shard: {slots}   batch: {batch}",
+        limit, report.shards
+    );
+    let _ = writeln!(
+        s,
+        "\ninstances: {}   decided: {}   undecided: {}   violations: {}",
+        report.instances,
+        report.stats.decided,
+        report.stats.undecided,
+        report.stats.violations()
+    );
+    let _ = writeln!(
+        s,
+        "throughput: {} decisions/sec over {} ms",
+        fnum(report.decisions_per_sec()),
+        report.elapsed_ns / 1_000_000
+    );
+    let _ = writeln!(
+        s,
+        "latency  : p50 {} ns   p90 {} ns   p99 {} ns   (service: admission to decision)",
+        q(0.5),
+        q(0.9),
+        q(0.99)
+    );
+    if !report.decided_values.is_empty() {
+        let _ = write!(s, "decided  :");
+        for (value, count) in &report.decided_values {
+            let _ = write!(s, "  v{value}={count}");
+        }
+        let _ = writeln!(s);
+    }
+    if out_path != "none" {
+        let _ = writeln!(s, "\nwrote {out_path}");
+    }
+    Ok(s)
+}
+
+/// Serializes a [`ServeReport`] to the `BENCH_serve.json` schema the CI
+/// `serve-bench` job uploads and gates on.
+fn write_bench_serve(path: &str, protocol: &str, report: &ServeReport) -> Result<(), String> {
+    let q = |q: f64| report.latency.quantile(q).map(|b| b.mid()).unwrap_or(0);
+    let mut values = String::from("{");
+    for (i, (value, count)) in report.decided_values.iter().enumerate() {
+        if i > 0 {
+            values.push(',');
+        }
+        let _ = write!(values, "\"v{value}\":{count}");
+    }
+    values.push('}');
+    let body = json::ObjWriter::new()
+        .str("bench", "serve")
+        .str("protocol", protocol)
+        .num("instances", report.instances)
+        .num("shards", report.shards as u64)
+        .num("decided", report.stats.decided)
+        .num("undecided", report.stats.undecided)
+        .num("violations", report.stats.violations())
+        .num("elapsed_ns", report.elapsed_ns)
+        .raw(
+            "decisions_per_sec",
+            &format!("{:.1}", report.decisions_per_sec()),
+        )
+        .num("latency_p50_ns", q(0.5))
+        .num("latency_p90_ns", q(0.9))
+        .num("latency_p99_ns", q(0.99))
+        .raw("decided_values", &values)
+        .finish();
+    std::fs::write(path, format!("{body}\n"))
+        .map_err(|e| format!("cannot write --out file '{path}': {e}"))
 }
 
 /// Parses the shared knobs of `conc stress` and `conc shrink`.

@@ -26,6 +26,7 @@
 //! cil conc      explore mutant:racy --inputs a,b [--depth-bound 24] [--jobs 4]
 //!               [--naive] [--no-hunt] [--static-indep] [--cross-check]
 //!               [--progress]
+//! cil serve     two --instances 1000000 --shards 8 [--out BENCH_serve.json]
 //! cil report    <capture.jsonl | metrics.json> [--merge f2,f3] [--flame]
 //! cil help
 //! ```
@@ -122,6 +123,7 @@ pub fn dispatch_full<I: IntoIterator<Item = String>>(tokens: I) -> Result<String
         "elect" => usage(commands::elect(&args)),
         "threads" => usage(commands::threads(&args)),
         "conc" => commands::conc(&args),
+        "serve" => usage(commands::serve(&args)),
         "report" => commands::report(&args),
         "" | "help" | "--help" | "-h" => Ok(commands::help()),
         other => Err(CliFailure::Usage(format!(
@@ -166,8 +168,13 @@ mod tests {
             "elect",
             "threads",
             "conc",
+            "serve",
             "report",
             "--jobs",
+            "--instances",
+            "--shards",
+            "--target-decisions",
+            "--duration",
             "--trace-json",
             "--metrics-out",
             "--metrics-format",
@@ -196,7 +203,7 @@ mod tests {
         // The usage text must list every current subcommand.
         for c in [
             "run", "replay", "audit", "lint", "prove", "sweep", "check", "mdp", "survival",
-            "theorem4", "elect", "threads", "conc", "report",
+            "theorem4", "elect", "threads", "conc", "serve", "report",
         ] {
             assert!(e.contains(c), "usage missing {c}");
         }
@@ -432,6 +439,55 @@ mod tests {
     fn threads_agree() {
         let out = dispatch(toks("threads --protocol two --inputs a,b --seed 2")).unwrap();
         assert!(out.contains("agreed"), "{out}");
+    }
+
+    #[test]
+    fn serve_reports_throughput_and_is_shard_invariant() {
+        let out_path =
+            std::env::temp_dir().join(format!("cil-serve-test-{}.json", std::process::id()));
+        let out_arg = out_path.to_str().unwrap();
+        let runs: Vec<String> = [1, 4]
+            .iter()
+            .map(|shards| {
+                dispatch(toks(&format!(
+                    "serve two --instances 300 --seed 9 --shards {shards} --out {out_arg}"
+                )))
+                .unwrap()
+            })
+            .collect();
+        assert!(runs[0].contains("instances: 300"), "{}", runs[0]);
+        assert!(runs[0].contains("decided: 300"), "{}", runs[0]);
+        assert!(runs[0].contains("violations: 0"), "{}", runs[0]);
+        assert!(runs[0].contains("decisions/sec"), "{}", runs[0]);
+        // The deterministic lines (instance stats, decided-value counts)
+        // match at any shard count; throughput/latency are wall clock.
+        let stable = |s: &String| {
+            s.lines()
+                .filter(|l| l.starts_with("instances:") || l.starts_with("decided  :"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(stable(&runs[0]), stable(&runs[1]));
+        let bench = std::fs::read_to_string(&out_path).unwrap();
+        let _ = std::fs::remove_file(&out_path);
+        for key in [
+            "\"bench\":\"serve\"",
+            "\"decisions_per_sec\"",
+            "\"latency_p50_ns\"",
+            "\"latency_p99_ns\"",
+            "\"decided_values\"",
+        ] {
+            assert!(
+                bench.contains(key),
+                "BENCH_serve.json missing {key}: {bench}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_rejects_conflicting_limits() {
+        let e = dispatch(toks("serve two --instances 10 --duration 5 --out none")).unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
     }
 
     #[test]

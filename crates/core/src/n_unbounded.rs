@@ -60,8 +60,9 @@ pub enum NState {
         my: NReg,
         /// Index into the list of peers still to be read.
         peer_idx: usize,
-        /// Values read so far this phase.
-        seen: Vec<NReg>,
+        /// Running leader-scan statistics folded over the values read so
+        /// far this phase (replaces storing the raw reads).
+        scan: PhaseScan,
     },
     /// End of phase, no decision: about to write, coin picks new vs old.
     WriteBack {
@@ -180,19 +181,25 @@ impl NUnbounded {
     /// End-of-phase computation: decide, or compute the next register
     /// contents. Pure function of the registers seen this phase.
     /// `strict` restricts the gap-2 decision to leaders themselves (the
-    /// soundness fix described on [`NUnbounded`]). Shared with the 1W1R
-    /// variant ([`crate::n_unbounded_1w1r`]).
+    /// soundness fix described on [`NUnbounded`]). Test-only slice form;
+    /// the executor hot path (here and in the 1W1R variant) folds the same
+    /// statistics incrementally via [`PhaseScan`] instead of materializing
+    /// the reads.
+    #[cfg(test)]
     pub(crate) fn conclude(my: NReg, seen: &[NReg], strict: bool) -> PhaseOutcome {
-        let all: Vec<NReg> = std::iter::once(my).chain(seen.iter().copied()).collect();
-        let maxnum = all.iter().map(|r| r.num).max().expect("non-empty");
-        let leaders: Vec<NReg> = all.iter().copied().filter(|r| r.num == maxnum).collect();
-        let leader_pref = leaders[0].pref;
-        let leaders_unanimous = leaders.iter().all(|r| r.pref == leader_pref);
+        let mut scan = PhaseScan::start(my);
+        for r in seen {
+            scan.observe(my, *r);
+        }
+        Self::conclude_scan(my, scan, strict)
+    }
 
+    /// [`conclude`](Self::conclude) over pre-folded scan statistics — one
+    /// alloc-free pass, no `all`/`leaders` temporaries.
+    pub(crate) fn conclude_scan(my: NReg, scan: PhaseScan, strict: bool) -> PhaseOutcome {
         // Decision case 1: the pref of all registers is the same.
-        let all_same = all.iter().all(|r| r.pref == all[0].pref);
-        if all_same {
-            if let Some(v) = all[0].pref {
+        if scan.all_same {
+            if let Some(v) = my.pref {
                 return PhaseOutcome::Decide(v);
             }
             // All ⊥ cannot happen for the phase owner (it wrote (input,1)),
@@ -201,12 +208,9 @@ impl NUnbounded {
 
         // Decision case 2: leaders unanimous and everyone else ≥ 2 behind.
         // In strict mode only the leader itself may use this rule.
-        if leaders_unanimous && (!strict || my.num == maxnum) {
-            if let Some(v) = leader_pref {
-                let others_far_behind = all
-                    .iter()
-                    .filter(|r| r.num != maxnum)
-                    .all(|r| r.num + 2 <= maxnum);
+        if scan.unanimous && (!strict || my.num == scan.maxnum) {
+            if let Some(v) = scan.leader_pref {
+                let others_far_behind = scan.second.is_none_or(|s| s + 2 <= scan.maxnum);
                 if others_far_behind {
                     return PhaseOutcome::Decide(v);
                 }
@@ -214,8 +218,8 @@ impl NUnbounded {
         }
 
         // Advance: adopt the leaders' pref when unanimous, else keep own.
-        let newpref = if leaders_unanimous && leader_pref.is_some() {
-            leader_pref
+        let newpref = if scan.unanimous && scan.leader_pref.is_some() {
+            scan.leader_pref
         } else {
             my.pref
         };
@@ -223,6 +227,56 @@ impl NUnbounded {
             pref: newpref,
             num: my.num + 1,
         })
+    }
+}
+
+/// Constant-size running statistics of one read phase: everything the
+/// end-of-phase rule needs about `{my} ∪ seen`, folded one register at a
+/// time. Replaces the per-step `all`/`leaders` vector materialization —
+/// the read loop stays allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhaseScan {
+    /// Largest `num` observed so far (own register included).
+    maxnum: u64,
+    /// Pref of the first register observed at the current `maxnum`.
+    leader_pref: Option<Val>,
+    /// Whether every register at the current `maxnum` shares `leader_pref`.
+    unanimous: bool,
+    /// Largest `num` observed strictly below the current `maxnum`, if any
+    /// register is behind at all (drives the gap-2 rule).
+    second: Option<u64>,
+    /// Whether every pref observed equals the phase owner's own pref.
+    all_same: bool,
+}
+
+impl PhaseScan {
+    /// Statistics of the singleton view `{my}` at the start of a phase.
+    pub fn start(my: NReg) -> Self {
+        PhaseScan {
+            maxnum: my.num,
+            leader_pref: my.pref,
+            unanimous: true,
+            second: None,
+            all_same: true,
+        }
+    }
+
+    /// Folds one peer register into the statistics. `my` is the phase
+    /// owner's own contents (needed for the all-prefs-equal rule).
+    pub fn observe(&mut self, my: NReg, r: NReg) {
+        self.all_same &= r.pref == my.pref;
+        if r.num > self.maxnum {
+            // The old leading pack falls behind; it is the best candidate
+            // for the runner-up num.
+            self.second = Some(self.second.map_or(self.maxnum, |s| s.max(self.maxnum)));
+            self.maxnum = r.num;
+            self.leader_pref = r.pref;
+            self.unanimous = true;
+        } else if r.num == self.maxnum {
+            self.unanimous &= r.pref == self.leader_pref;
+        } else {
+            self.second = Some(self.second.map_or(r.num, |s| s.max(r.num)));
+        }
     }
 }
 
@@ -298,26 +352,29 @@ impl Protocol for NUnbounded {
         read: Option<&NReg>,
     ) -> Choice<NState> {
         match state {
-            NState::Start { input } => Choice::det(NState::Reading {
-                my: NReg {
+            NState::Start { input } => {
+                let my = NReg {
                     pref: Some(*input),
                     num: 1,
-                },
-                peer_idx: 0,
-                seen: Vec::with_capacity(self.n - 1),
-            }),
-            NState::Reading { my, peer_idx, seen } => {
+                };
+                Choice::det(NState::Reading {
+                    my,
+                    peer_idx: 0,
+                    scan: PhaseScan::start(my),
+                })
+            }
+            NState::Reading { my, peer_idx, scan } => {
                 let v = *read.expect("reading phase reads");
-                let mut seen = seen.clone();
-                seen.push(v);
+                let mut scan = *scan;
+                scan.observe(*my, v);
                 if *peer_idx + 1 < self.n - 1 {
                     Choice::det(NState::Reading {
                         my: *my,
                         peer_idx: peer_idx + 1,
-                        seen,
+                        scan,
                     })
                 } else {
-                    match Self::conclude(*my, &seen, self.strict_leader_decide) {
+                    match Self::conclude_scan(*my, scan, self.strict_leader_decide) {
                         PhaseOutcome::Decide(v) => Choice::det(NState::Decided { value: v }),
                         PhaseOutcome::Advance(new) => {
                             Choice::det(NState::WriteBack { old: *my, new })
@@ -333,7 +390,7 @@ impl Protocol for NUnbounded {
                 Choice::det(NState::Reading {
                     my: written,
                     peer_idx: 0,
-                    seen: Vec::with_capacity(self.n - 1),
+                    scan: PhaseScan::start(written),
                 })
             }
             NState::Decided { .. } => unreachable!("decided processors take no steps"),
@@ -564,6 +621,66 @@ mod tests {
             NUnbounded::conclude(my, &[NReg::BOT, NReg::BOT], false),
             PhaseOutcome::Decide(Val::A)
         );
+    }
+
+    /// The pre-refactor end-of-phase rule, materializing `all`/`leaders`
+    /// vectors — kept as the oracle for the alloc-free scan fold.
+    fn conclude_reference(my: NReg, seen: &[NReg], strict: bool) -> PhaseOutcome {
+        let all: Vec<NReg> = std::iter::once(my).chain(seen.iter().copied()).collect();
+        let maxnum = all.iter().map(|r| r.num).max().expect("non-empty");
+        let leaders: Vec<NReg> = all.iter().copied().filter(|r| r.num == maxnum).collect();
+        let leader_pref = leaders[0].pref;
+        let leaders_unanimous = leaders.iter().all(|r| r.pref == leader_pref);
+        let all_same = all.iter().all(|r| r.pref == all[0].pref);
+        if all_same {
+            if let Some(v) = all[0].pref {
+                return PhaseOutcome::Decide(v);
+            }
+        }
+        if leaders_unanimous && (!strict || my.num == maxnum) {
+            if let Some(v) = leader_pref {
+                let others_far_behind = all
+                    .iter()
+                    .filter(|r| r.num != maxnum)
+                    .all(|r| r.num + 2 <= maxnum);
+                if others_far_behind {
+                    return PhaseOutcome::Decide(v);
+                }
+            }
+        }
+        let newpref = if leaders_unanimous && leader_pref.is_some() {
+            leader_pref
+        } else {
+            my.pref
+        };
+        PhaseOutcome::Advance(NReg {
+            pref: newpref,
+            num: my.num + 1,
+        })
+    }
+
+    #[test]
+    fn scan_fold_matches_vector_reference_exhaustively() {
+        // Every (pref, num) register over prefs {⊥, a, b} × nums {0..5},
+        // phase owner plus two peers, both strictness modes — the scan fold
+        // must agree with the materializing reference everywhere.
+        let regs: Vec<NReg> = [None, Some(Val::A), Some(Val::B)]
+            .into_iter()
+            .flat_map(|pref| (0..5u64).map(move |num| NReg { pref, num }))
+            .collect();
+        for &my in &regs {
+            for &p1 in &regs {
+                for &p2 in &regs {
+                    for strict in [false, true] {
+                        assert_eq!(
+                            NUnbounded::conclude(my, &[p1, p2], strict),
+                            conclude_reference(my, &[p1, p2], strict),
+                            "my={my:?} p1={p1:?} p2={p2:?} strict={strict}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

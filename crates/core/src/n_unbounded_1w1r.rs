@@ -31,7 +31,7 @@
 //! A peer's lagging copy only makes views *staler* (smaller `num`), never
 //! fresher, so incoherence cannot manufacture a spurious leader.
 
-use crate::n_unbounded::{NReg, NUnbounded, PhaseOutcome};
+use crate::n_unbounded::{NReg, NUnbounded, PhaseOutcome, PhaseScan};
 use cil_registers::{ReaderSet, RegId, RegisterSpec};
 use cil_sim::{Choice, Op, Protocol, Val};
 
@@ -51,8 +51,9 @@ pub enum WState {
         my: NReg,
         /// Index into the peer list.
         idx: usize,
-        /// Values read so far this phase.
-        seen: Vec<NReg>,
+        /// Running leader-scan statistics folded over the values read so
+        /// far this phase (replaces storing the raw reads).
+        scan: PhaseScan,
     },
     /// End of phase: coin between replicating `new` and retaining `old`.
     /// The coin is flipped once; the chosen value is then replicated to all
@@ -191,22 +192,22 @@ impl Protocol for NUnbounded1W1R {
                     Choice::det(WState::Reading {
                         my: *reg,
                         idx: 0,
-                        seen: Vec::with_capacity(self.n - 1),
+                        scan: PhaseScan::start(*reg),
                     })
                 }
             }
-            WState::Reading { my, idx, seen } => {
+            WState::Reading { my, idx, scan } => {
                 let v = *read.expect("reading phase reads");
-                let mut seen = seen.clone();
-                seen.push(v);
+                let mut scan = *scan;
+                scan.observe(*my, v);
                 if *idx + 1 < self.n - 1 {
                     Choice::det(WState::Reading {
                         my: *my,
                         idx: idx + 1,
-                        seen,
+                        scan,
                     })
                 } else {
-                    match NUnbounded::conclude(*my, &seen, true) {
+                    match NUnbounded::conclude_scan(*my, scan, true) {
                         PhaseOutcome::Decide(v) => Choice::det(WState::Decided { value: v }),
                         PhaseOutcome::Advance(new) => {
                             Choice::det(WState::CoinThenWrite { old: *my, new })
@@ -230,7 +231,7 @@ impl Protocol for NUnbounded1W1R {
                     Choice::det(WState::Reading {
                         my: written,
                         idx: 0,
-                        seen: Vec::with_capacity(self.n - 1),
+                        scan: PhaseScan::start(written),
                     })
                 }
             }

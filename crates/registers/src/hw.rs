@@ -104,6 +104,9 @@ impl HwCell {
 pub struct HwRegisterFile<V> {
     specs: Vec<RegisterSpec<V>>,
     cells: Vec<HwCell>,
+    /// Packed initial contents, kept so [`reset`](HwRegisterFile::reset)
+    /// can restore the file without re-validating or re-allocating.
+    init_words: Vec<u64>,
 }
 
 impl<V> HwRegisterFile<V> {
@@ -138,6 +141,7 @@ impl<V> HwRegisterFile<V> {
             }
         }
         let mut cells = Vec::with_capacity(specs.len());
+        let mut init_words = Vec::with_capacity(specs.len());
         for s in &specs {
             let word = pack(s.id, &s.init);
             if word > s.max_word() {
@@ -148,8 +152,26 @@ impl<V> HwRegisterFile<V> {
                 });
             }
             cells.push(HwCell::new(word));
+            init_words.push(word);
         }
-        Ok(HwRegisterFile { specs, cells })
+        Ok(HwRegisterFile {
+            specs,
+            cells,
+            init_words,
+        })
+    }
+
+    /// Restores every cell to its packed initial contents.
+    ///
+    /// This is the frame-reuse primitive for engines that run many protocol
+    /// instances through one register file (arena slots in `cil-serve`):
+    /// instead of rebuilding specs and cells per instance, a reset brings
+    /// the file back to the paper's all-⊥ start without touching the heap.
+    /// Requires exclusive access so no thread observes a torn start state.
+    pub fn reset(&mut self) {
+        for (cell, &word) in self.cells.iter().zip(&self.init_words) {
+            cell.store(word);
+        }
     }
 
     /// Number of registers.
@@ -351,6 +373,19 @@ mod tests {
             HwRegisterFile::new(vec![spec]),
             Err(AccessError::BadSpec(_))
         ));
+    }
+
+    #[test]
+    fn reset_restores_initial_contents() {
+        let mut f = file_1w1r();
+        f.write(Pid(0), RegId(0), &Some(7)).unwrap();
+        f.write(Pid(1), RegId(1), &Some(9)).unwrap();
+        f.reset();
+        assert_eq!(f.read(Pid(1), RegId(0)).unwrap(), None);
+        assert_eq!(f.read(Pid(0), RegId(1)).unwrap(), None);
+        // The file is fully usable again after the reset.
+        f.write(Pid(0), RegId(0), &Some(2)).unwrap();
+        assert_eq!(f.read(Pid(1), RegId(0)).unwrap(), Some(2));
     }
 
     #[test]

@@ -99,24 +99,54 @@ impl<R> Op<R> {
 /// paper's unbiased coin. The executor samples branches with
 /// [`Choice::sample`]; the model checker and MDP solver enumerate
 /// [`Choice::branches`] with exact rational weights.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The one- and two-branch cases (every choice the paper's protocols make)
+/// are stored inline, so constructing and sampling them never touches the
+/// heap — the serve engine's step loop depends on this.
+#[derive(Clone)]
 pub struct Choice<T> {
-    branches: Vec<(u32, T)>,
+    branches: Branches<T>,
+}
+
+/// Inline small-vector storage for branches. `One`/`Two` cover `det` and
+/// `coin` without allocating; `Many` is the spill path for `uniform`,
+/// wide `weighted` lists, and the unvalidated `weighted_raw` (which must
+/// also represent the empty list).
+#[derive(Clone)]
+enum Branches<T> {
+    One((u32, T)),
+    Two([(u32, T); 2]),
+    Many(Vec<(u32, T)>),
 }
 
 impl<T> Choice<T> {
     /// Deterministic choice.
     pub fn det(value: T) -> Self {
         Choice {
-            branches: vec![(1, value)],
+            branches: Branches::One((1, value)),
         }
     }
 
     /// An unbiased coin: `heads` and `tails` with probability 1/2 each.
     pub fn coin(heads: T, tails: T) -> Self {
         Choice {
-            branches: vec![(1, heads), (1, tails)],
+            branches: Branches::Two([(1, heads), (1, tails)]),
         }
+    }
+
+    /// Normalizes a branch list into the inline representation where it
+    /// fits. The empty list stays `Many` — only `weighted_raw` produces it.
+    fn from_vec(mut branches: Vec<(u32, T)>) -> Self {
+        let branches = match branches.len() {
+            1 => Branches::One(branches.pop().expect("len checked")),
+            2 => {
+                let b = branches.pop().expect("len checked");
+                let a = branches.pop().expect("len checked");
+                Branches::Two([a, b])
+            }
+            _ => Branches::Many(branches),
+        };
+        Choice { branches }
     }
 
     /// Uniform choice over the given values.
@@ -127,7 +157,7 @@ impl<T> Choice<T> {
     pub fn uniform(values: impl IntoIterator<Item = T>) -> Self {
         let branches: Vec<(u32, T)> = values.into_iter().map(|v| (1, v)).collect();
         assert!(!branches.is_empty(), "uniform choice over nothing");
-        Choice { branches }
+        Choice::from_vec(branches)
     }
 
     /// Arbitrary positive weights.
@@ -141,7 +171,7 @@ impl<T> Choice<T> {
             branches.iter().all(|&(w, _)| w > 0),
             "weights must be positive"
         );
-        Choice { branches }
+        Choice::from_vec(branches)
     }
 
     /// Builds a choice from raw branches **without validating** that the
@@ -155,39 +185,85 @@ impl<T> Choice<T> {
     /// `cil-audit` static analyzer must catch it (its check (c): coin-flip
     /// weights are well-formed probability measures).
     pub fn weighted_raw(branches: Vec<(u32, T)>) -> Self {
-        Choice { branches }
+        Choice::from_vec(branches)
     }
 
     /// The weighted branches (weight, outcome).
     pub fn branches(&self) -> &[(u32, T)] {
-        &self.branches
+        match &self.branches {
+            Branches::One(b) => std::slice::from_ref(b),
+            Branches::Two(b) => b,
+            Branches::Many(b) => b,
+        }
     }
 
     /// Total weight of all branches, summed without overflow.
     pub fn total_weight(&self) -> u64 {
-        self.branches.iter().map(|&(w, _)| u64::from(w)).sum()
+        self.branches().iter().map(|&(w, _)| u64::from(w)).sum()
     }
 
     /// Whether the choice is deterministic (a single branch).
     pub fn is_det(&self) -> bool {
-        self.branches.len() == 1
+        self.branches().len() == 1
     }
 
     /// Samples a branch with the given randomness source.
+    ///
+    /// Allocation-free: the cumulative scan of [`Rng::weighted`] is inlined
+    /// over the borrowed branches, drawing the exact same `Rng::below(total)`
+    /// sequence, so seeded runs are bit-identical to the historical
+    /// collect-then-`weighted` implementation.
     pub fn sample(&self, rng: &mut dyn Rng) -> &T {
-        if self.branches.len() == 1 {
-            return &self.branches[0].1;
+        let branches = self.branches();
+        if branches.len() == 1 {
+            return &branches[0].1;
         }
-        let weights: Vec<u32> = self.branches.iter().map(|&(w, _)| w).collect();
-        &self.branches[rng.weighted(&weights)].1
+        let total = self.total_weight();
+        assert!(total > 0, "weights must sum to a positive value");
+        let mut x = rng.below(total);
+        for (w, value) in branches {
+            let w = u64::from(*w);
+            if x < w {
+                return value;
+            }
+            x -= w;
+        }
+        unreachable!("weighted pick fell through")
     }
 
     /// Maps the outcomes, preserving weights.
     pub fn map<U>(self, f: impl FnMut(T) -> U) -> Choice<U> {
         let mut f = f;
-        Choice {
-            branches: self.branches.into_iter().map(|(w, t)| (w, f(t))).collect(),
-        }
+        let branches = match self.branches {
+            Branches::One((w, t)) => Branches::One((w, f(t))),
+            Branches::Two([(wa, a), (wb, b)]) => Branches::Two([(wa, f(a)), (wb, f(b))]),
+            Branches::Many(b) => Branches::Many(b.into_iter().map(|(w, t)| (w, f(t))).collect()),
+        };
+        Choice { branches }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Choice<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Choice")
+            .field("branches", &self.branches())
+            .finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for Choice<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.branches() == other.branches()
+    }
+}
+
+impl<T: Eq> Eq for Choice<T> {}
+
+impl<T: Hash> Hash for Choice<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash as the branch slice so representation (inline vs spilled)
+        // never shows through.
+        self.branches().hash(state);
     }
 }
 
@@ -328,6 +404,41 @@ mod tests {
         assert_eq!(*c.sample(&mut heads), 2);
         let mut tails = ScriptedCoins::new([false]);
         assert_eq!(*c.sample(&mut tails), 1);
+    }
+
+    #[test]
+    fn det_and_coin_use_inline_storage() {
+        // The executor hot path relies on det/coin (and two-branch weighted
+        // lists) staying on the stack; spilling to Many would reintroduce a
+        // heap allocation per protocol step.
+        assert!(matches!(Choice::det(7).branches, Branches::One(_)));
+        assert!(matches!(Choice::coin(1, 2).branches, Branches::Two(_)));
+        assert!(matches!(
+            Choice::weighted(vec![(3, 1), (1, 2)]).branches,
+            Branches::Two(_)
+        ));
+        assert!(matches!(
+            Choice::uniform([1, 2, 3]).branches,
+            Branches::Many(_)
+        ));
+    }
+
+    #[test]
+    fn representation_never_shows_through_eq_hash_debug() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::Hasher;
+        let inline = Choice::coin('h', 't');
+        let spilled = Choice {
+            branches: Branches::Many(vec![(1, 'h'), (1, 't')]),
+        };
+        assert_eq!(inline, spilled);
+        let digest = |c: &Choice<char>| {
+            let mut h = DefaultHasher::new();
+            c.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&inline), digest(&spilled));
+        assert_eq!(format!("{inline:?}"), format!("{spilled:?}"));
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Cross-validation of the `cil-serve` engine against the simulator, and
+//! its determinism contract: in `Instances` mode the merged statistics,
+//! the decided-value distribution, and the `serve.*` metric exports are a
+//! pure function of `(root_seed, instances)` — byte-identical at any
+//! shard / arena / batch configuration — and identical to what a
+//! `TrialSweep` over `Runner` + `RoundRobin` produces for the same trials.
+
+use std::collections::BTreeMap;
+
+use cil_core::deterministic::{DetRule, DetTwo};
+use cil_core::kvalued::KValued;
+use cil_core::n_unbounded::NUnbounded;
+use cil_core::n_unbounded_1w1r::NUnbounded1W1R;
+use cil_core::naive::Naive;
+use cil_core::three_bounded::ThreeBounded;
+use cil_core::two::TwoProcessor;
+use cil_core::KRegCodec;
+use cil_obs::Registry;
+use cil_serve::{ServeEngine, ServeLimit, ServeReport};
+use cil_sim::sweep::{SweepObserver, TrialResult, TrialSweep};
+use cil_sim::threads::WordCodec;
+use cil_sim::{PackCodec, Protocol, RoundRobin, Runner, Val};
+
+const INSTANCES: u64 = 120;
+const MAX_STEPS: u64 = 20_000;
+const SEED: u64 = 2026;
+
+/// Reference run: the same trials through the simulator, collecting the
+/// sweep digest and the decided-value distribution.
+fn simulator_reference<P: Protocol + Sync>(
+    protocol: &P,
+    inputs: &[Val],
+) -> (Vec<u8>, BTreeMap<u64, u64>) {
+    let values = std::sync::Mutex::new(BTreeMap::new());
+    let stats = TrialSweep::new(INSTANCES)
+        .root_seed(SEED)
+        .jobs(1)
+        .run(|trial| {
+            let out = Runner::new(protocol, inputs, RoundRobin::new())
+                .seed(trial.seed)
+                .max_steps(MAX_STEPS)
+                .run();
+            let result = TrialResult::from_run(&out);
+            if result.outcome == cil_sim::sweep::TrialOutcome::Decided {
+                if let Some(v) = out.agreement() {
+                    *values.lock().unwrap().entry(v.0).or_insert(0u64) += 1;
+                }
+            }
+            result
+        });
+    (stats.digest(), values.into_inner().unwrap())
+}
+
+fn serve_report<P, C>(protocol: &P, codec: &C, inputs: &[Val], shards: usize) -> ServeReport
+where
+    P: Protocol + Sync,
+    P::State: Send,
+    C: WordCodec<P::Reg>,
+{
+    ServeEngine::new(protocol, codec, inputs, ServeLimit::Instances(INSTANCES))
+        .root_seed(SEED)
+        .shards(shards)
+        .max_steps(MAX_STEPS)
+        .run()
+}
+
+/// One protocol's full contract: serve == simulator (digest + decided-value
+/// distribution), at more than one shard count.
+fn check_protocol<P, C>(name: &str, protocol: &P, codec: &C, inputs: &[Val])
+where
+    P: Protocol + Sync,
+    P::State: Send,
+    C: WordCodec<P::Reg>,
+{
+    let (ref_digest, ref_values) = simulator_reference(protocol, inputs);
+    for shards in [1, 3] {
+        let report = serve_report(protocol, codec, inputs, shards);
+        assert_eq!(report.instances, INSTANCES, "{name}: instance count");
+        assert_eq!(
+            report.stats.digest(),
+            ref_digest,
+            "{name}: serve digest diverged from the simulator sweep at {shards} shards"
+        );
+        assert_eq!(
+            report.decided_values, ref_values,
+            "{name}: decided-value distribution diverged at {shards} shards"
+        );
+    }
+}
+
+/// Every built-in protocol spec the CLI serves, with the codec `cil serve`
+/// would pick for it.
+#[test]
+fn all_nine_protocols_match_the_simulator() {
+    check_protocol("two", &TwoProcessor::new(), &PackCodec, &[Val::A, Val::B]);
+    check_protocol(
+        "fig2",
+        &NUnbounded::three(),
+        &PackCodec,
+        &[Val::A, Val::B, Val::A],
+    );
+    check_protocol(
+        "fig2-literal",
+        &NUnbounded::literal_fig2(3),
+        &PackCodec,
+        &[Val::A, Val::B, Val::A],
+    );
+    check_protocol(
+        "fig2-1w1r",
+        &NUnbounded1W1R::three(),
+        &PackCodec,
+        &[Val::A, Val::B, Val::A],
+    );
+    check_protocol(
+        "fig3",
+        &ThreeBounded::new(),
+        &PackCodec,
+        &[Val::A, Val::B, Val::A],
+    );
+    check_protocol("naive", &Naive::new(2), &PackCodec, &[Val::A, Val::B]);
+    check_protocol(
+        "det:always-adopt",
+        &DetTwo::new(DetRule::AlwaysAdopt),
+        &PackCodec,
+        &[Val::A, Val::B],
+    );
+    check_protocol(
+        "n:4",
+        &NUnbounded::new(4),
+        &PackCodec,
+        &[Val::A, Val::B, Val::A, Val::B],
+    );
+    let kv = KValued::new(TwoProcessor::new(), 4);
+    let codec = KRegCodec::for_protocol(&kv);
+    check_protocol("kvalued:4", &kv, &codec, &[Val(0), Val(3)]);
+}
+
+/// The observed `serve.*` metric snapshot (no timing attached, so no
+/// wall-clock metrics) plus the decided-value counters must serialize to
+/// byte-identical JSON and OpenMetrics text at any shard count.
+#[test]
+fn metric_exports_are_byte_identical_at_any_shard_count() {
+    let p = NUnbounded::three();
+    let inputs = [Val::A, Val::B, Val::B];
+    let export = |shards: usize| {
+        let registry = Registry::new();
+        let observer = SweepObserver::with_prefix(&registry, "serve");
+        let report = ServeEngine::new(&p, &PackCodec, &inputs, ServeLimit::Instances(200))
+            .root_seed(7)
+            .shards(shards)
+            .max_steps(MAX_STEPS)
+            .run_observed(Some(&observer));
+        report.export_decided_values(&registry);
+        let snap = registry.snapshot();
+        (snap.to_json(), cil_obs::export::to_openmetrics(&snap))
+    };
+    let (json1, om1) = export(1);
+    for shards in [2, 5] {
+        let (json_n, om_n) = export(shards);
+        assert_eq!(json1, json_n, "JSON export diverged at {shards} shards");
+        assert_eq!(om1, om_n, "OpenMetrics export diverged at {shards} shards");
+    }
+    // The export actually carries the serve metrics it promises.
+    for key in ["serve.trials", "serve.decided", "serve.decided.v"] {
+        assert!(json1.contains(key), "export missing {key}: {json1}");
+    }
+}
+
+/// Arena geometry (slots, batch) is as invisible as the shard count.
+#[test]
+fn arena_geometry_is_invisible() {
+    let p = TwoProcessor::new();
+    let inputs = [Val::A, Val::B];
+    let reference = serve_report(&p, &PackCodec, &inputs, 1);
+    for (slots, batch) in [(1, 1), (5, 17), (128, 2)] {
+        let report = ServeEngine::new(&p, &PackCodec, &inputs, ServeLimit::Instances(INSTANCES))
+            .root_seed(SEED)
+            .shards(2)
+            .slots(slots)
+            .batch(batch)
+            .max_steps(MAX_STEPS)
+            .run();
+        assert_eq!(
+            report.stats.digest(),
+            reference.stats.digest(),
+            "digest diverged at slots={slots} batch={batch}"
+        );
+        assert_eq!(report.decided_values, reference.decided_values);
+    }
+}
